@@ -1,0 +1,50 @@
+// Figure 4: average delay per critical section vs the per-node arrival
+// rate, for T_req = 0.1 and 0.2.
+//
+// Paper expectations: the longer collection window trades messages for
+// delay (higher X-bar at every load); delay grows from ~Eq.(3) = 0.38 at
+// light load toward and beyond ~Eq.(6) = 1.39 at heavy load.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dmx;
+  bench::print_header(
+      "Figure 4 — average delay per critical section (N = 10, time units)",
+      "X-bar measured from request issuance to CS exit (includes T_exec), "
+      "as in the paper.\nSeries: T_req = 0.1 and T_req = 0.2.");
+
+  harness::Table table({"lambda", "delay (Treq=0.1)", "delay (Treq=0.2)",
+                        "p95 (Treq=0.1)", "sojourn (Treq=0.1)"});
+  for (double lam : bench::lambda_grid()) {
+    std::vector<std::string> row{harness::Table::num(lam, 2)};
+    std::string sojourn, p95;
+    for (double t_req : {0.1, 0.2}) {
+      harness::ExperimentConfig cfg;
+      cfg.algorithm = "arbiter-tp";
+      cfg.n_nodes = 10;
+      cfg.lambda = lam;
+      cfg.total_requests = bench::requests_per_point();
+      cfg.params.set("t_req", t_req).set("t_fwd", 0.1);
+      const auto runs = harness::run_replicated(cfg, bench::replications());
+      const auto p = bench::summarize(runs);
+      if (t_req == 0.1) {
+        sojourn = p.sojourn.to_string(3);
+        stats::Welford w;
+        for (const auto& r : runs) w.add(r.service_p95);
+        p95 = harness::Table::num(w.mean(), 3);
+      }
+      row.push_back(p.service.to_string(3));
+    }
+    row.push_back(p95);
+    row.push_back(sojourn);
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  const analysis::Timing t{0.1, 0.1, 0.1};
+  std::cout << "\nAnalytic: Eq.(3) light = "
+            << analysis::arbiter_service_light(10, t)
+            << ", Eq.(6) heavy = " << analysis::arbiter_service_heavy(10, t)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// google-benchmark micro benchmarks of the simulation substrate, so users
+// can size their own sweeps: event-queue throughput, network send/deliver
+// cost, and an end-to-end simulated-CS rate for the core algorithm.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harness/experiment.hpp"
+#include "net/delay_model.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dmx::sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(dmx::sim::SimTime::ticks(static_cast<std::int64_t>(i % 1024)),
+                      [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+struct NullHandler final : dmx::net::MessageHandler {
+  std::uint64_t count = 0;
+  void on_message(const dmx::net::Envelope&) override { ++count; }
+};
+
+struct PingPayload final : dmx::net::Payload {
+  [[nodiscard]] std::string_view type_name() const override { return "PING"; }
+};
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dmx::sim::Simulator sim;
+    dmx::net::Network net(
+        sim, 2,
+        std::make_unique<dmx::net::ConstantDelay>(dmx::sim::SimTime::units(0.1)),
+        1);
+    NullHandler h0, h1;
+    net.attach(dmx::net::NodeId{0}, &h0);
+    net.attach(dmx::net::NodeId{1}, &h1);
+    auto payload = dmx::net::make_payload<PingPayload>();
+    for (std::size_t i = 0; i < n; ++i) {
+      net.send(dmx::net::NodeId{0}, dmx::net::NodeId{1}, payload);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(h1.count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NetworkSendDeliver)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ArbiterEndToEnd(benchmark::State& state) {
+  const auto requests = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    dmx::harness::ExperimentConfig cfg;
+    cfg.n_nodes = 10;
+    cfg.lambda = 0.5;
+    cfg.total_requests = requests;
+    cfg.seed = 42;
+    const auto r = dmx::harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(requests));
+  state.SetLabel("simulated CS grants");
+}
+BENCHMARK(BM_ArbiterEndToEnd)->Arg(2'000)->Arg(20'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// The token-algorithm landscape the paper positions itself in (§1, §2.4):
+// messages per CS at saturation for every algorithm in the library, next to
+// each algorithm's textbook analytic figure.
+//
+// Expected ranking at high load: arbiter-tp ~= centralized ~= 3, Raymond ~4,
+// Suzuki-Kasami ~N, Maekawa ~O(sqrt(N)) with contention traffic,
+// Ricart-Agrawala 2(N-1), Lamport 3(N-1).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dmx;
+  bench::print_header(
+      "High-load message landscape (N = 10, lambda = 2.0/node)",
+      "The paper's positioning: \"less than 3 messages per critical section "
+      "invocation,\nperforming better than Raymond's tree-based algorithm "
+      "... approximately 4 messages\".");
+
+  struct Entry {
+    const char* algo;
+    double analytic;
+    const char* note;
+  };
+  const std::size_t n = 10;
+  const std::vector<Entry> entries = {
+      {"arbiter-tp", analysis::arbiter_messages_heavy(n), "Eq.(4): 3-2/N"},
+      {"arbiter-tp-sf", analysis::arbiter_messages_heavy(n),
+       "+ monitor visits"},
+      {"centralized", analysis::centralized_messages() * 0.9,
+       "3(N-1)/N (coordinator free)"},
+      {"raymond", analysis::raymond_messages_heavy(), "~4 at saturation"},
+      {"token-ring", 1.0, "1 hop/CS at saturation"},
+      {"tree-quorum", 3.0 * 3.3, "~3 log2(N) + contention"},
+      {"suzuki-kasami", analysis::suzuki_kasami_messages(n), "N"},
+      {"maekawa", analysis::maekawa_messages_high(n),
+       "3..5 sqrt(N) + contention"},
+      {"singhal", 2.0 * (static_cast<double>(n) - 1.0),
+       "-> 2(N-1) under contention"},
+      {"ricart-agrawala", analysis::ricart_agrawala_messages(n), "2(N-1)"},
+      {"lamport", analysis::lamport_messages(n), "3(N-1)"},
+  };
+
+  harness::Table table(
+      {"algorithm", "msgs/cs (sim)", "bytes/cs", "analytic", "model"});
+  for (const auto& e : entries) {
+    harness::ExperimentConfig cfg;
+    cfg.algorithm = e.algo;
+    cfg.n_nodes = n;
+    cfg.lambda = 2.0;
+    cfg.total_requests = bench::requests_per_point();
+    const auto runs = harness::run_replicated(cfg, bench::replications());
+    const auto p = bench::summarize(runs);
+    stats::Welford bytes;
+    for (const auto& r : runs) bytes.add(r.bytes_per_cs);
+    std::string cell = p.messages.to_string(2);
+    if (p.safety_violations > 0 || !p.all_drained) cell += " [UNSOUND]";
+    table.add_row({e.algo, cell, harness::Table::num(bytes.mean(), 1),
+                   harness::Table::num(e.analytic, 2), e.note});
+  }
+  table.print(std::cout);
+  return 0;
+}

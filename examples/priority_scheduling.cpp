@@ -1,0 +1,131 @@
+// Prioritized access (§5.2): a mixed fleet of high-priority "alarm" nodes
+// and low-priority "batch" nodes contending for one resource.
+//
+// The paper's design is *incremental* priority: each arbiter orders only
+// the batch it collected, so high-priority requests jump the queue within a
+// batch but never preempt an already-dispatched Q-list.  The demo measures
+// per-class latency under FCFS vs priority ordering and shows that the
+// low-priority class still makes progress (no starvation), because nodes
+// at the end of the Q-list become arbiters (§5.2's observation).
+#include <iostream>
+#include <memory>
+
+#include "core/arbiter_mutex.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+#include "mutex/cs_driver.hpp"
+#include "mutex/registry.hpp"
+#include "mutex/safety_monitor.hpp"
+#include "net/delay_model.hpp"
+#include "runtime/cluster.hpp"
+#include "stats/welford.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+struct ClassStats {
+  dmx::stats::Welford high_latency;
+  dmx::stats::Welford low_latency;
+  std::uint64_t high_done = 0;
+  std::uint64_t low_done = 0;
+  std::uint64_t arbiter_terms_low = 0;
+};
+
+ClassStats run(const std::string& order, std::uint64_t total) {
+  using namespace dmx;
+  harness::register_builtin_algorithms();
+  constexpr std::size_t kN = 10;
+  constexpr std::size_t kHighNodes = 3;  // nodes 0..2 are high priority
+
+  runtime::Cluster cluster(
+      kN, std::make_unique<net::ConstantDelay>(sim::SimTime::units(0.1)), 5);
+  mutex::ParamSet params;
+  params.set("order", order);
+  mutex::RequestIdSource ids;
+  mutex::SafetyMonitor monitor;
+  std::vector<mutex::MutexAlgorithm*> algos;
+  std::vector<std::unique_ptr<mutex::CsDriver>> drivers;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const net::NodeId nid{static_cast<std::int32_t>(i)};
+    mutex::FactoryContext ctx{nid, kN, params};
+    auto algo = mutex::Registry::instance().create("arbiter-tp", ctx);
+    algos.push_back(algo.get());
+    cluster.install(nid, std::move(algo));
+    drivers.push_back(std::make_unique<mutex::CsDriver>(
+        cluster.simulator(), *algos.back(), sim::SimTime::units(0.1),
+        &monitor, &ids));
+  }
+
+  ClassStats out;
+  for (std::size_t i = 0; i < kN; ++i) {
+    drivers[i]->set_completion_callback([&, i](const mutex::CsRequest& r) {
+      // Measure from issuance to the algorithm (not workload arrival):
+      // priority ordering acts inside arbitration batches, and under
+      // saturation the local open-loop queue would otherwise dominate.
+      const double latency =
+          cluster.simulator().now().to_units() - r.issued_at.to_units();
+      if (i < kHighNodes) {
+        out.high_latency.add(latency);
+        ++out.high_done;
+      } else {
+        out.low_latency.add(latency);
+        ++out.low_done;
+      }
+    });
+  }
+
+  std::vector<mutex::CsDriver*> dp;
+  std::vector<std::unique_ptr<workload::ArrivalProcess>> ap;
+  for (auto& d : drivers) {
+    dp.push_back(d.get());
+    ap.push_back(std::make_unique<workload::PoissonArrivals>(0.3));
+  }
+  workload::OpenLoopGenerator gen(cluster.simulator(), dp, std::move(ap),
+                                  total, 77);
+  gen.set_priority_fn([](std::size_t node, std::uint64_t) {
+    return node < kHighNodes ? 10 : 0;  // static node priorities (§5.2)
+  });
+  cluster.start();
+  gen.start();
+  cluster.simulator().run();
+
+  for (std::size_t i = kHighNodes; i < kN; ++i) {
+    out.arbiter_terms_low +=
+        dynamic_cast<core::ArbiterMutex*>(algos[i])->times_arbiter();
+  }
+  if (monitor.violations() != 0) {
+    std::cerr << "SAFETY VIOLATION\n";
+    std::exit(1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmx;
+  const std::uint64_t kTotal = 30'000;
+  std::cout << "Prioritized access (§5.2): 3 high-priority alarm nodes vs "
+               "7 low-priority batch nodes\n"
+            << "10 nodes, lambda = 0.3/node (contended but unsaturated), " << kTotal
+            << " requests\n\n";
+
+  harness::Table table({"ordering", "high-prio latency", "low-prio latency",
+                        "high done", "low done", "low-prio arbiter terms"});
+  for (const std::string order : {"fcfs", "priority"}) {
+    const auto s = run(order, kTotal);
+    table.add_row({order, harness::Table::num(s.high_latency.mean(), 3),
+                   harness::Table::num(s.low_latency.mean(), 3),
+                   harness::Table::integer(s.high_done),
+                   harness::Table::integer(s.low_done),
+                   harness::Table::integer(s.arbiter_terms_low)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nUnder 'priority', the alarm class overtakes within each batch "
+         "(lower latency),\nyet the batch class keeps completing work and — "
+         "as §5.2 predicts — ends up\nserving as arbiter more often, since "
+         "low-priority requests sort to the tail.\n";
+  return 0;
+}

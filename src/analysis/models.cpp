@@ -1,0 +1,55 @@
+#include "analysis/models.hpp"
+
+#include <cmath>
+
+namespace dmx::analysis {
+
+double arbiter_messages_light(std::size_t n) {
+  const double nn = static_cast<double>(n);
+  return (nn * nn - 1.0) / nn;
+}
+
+double arbiter_messages_heavy(std::size_t n) {
+  return 3.0 - 2.0 / static_cast<double>(n);
+}
+
+double arbiter_service_light(std::size_t n, const Timing& t) {
+  const double nn = static_cast<double>(n);
+  return (1.0 - 1.0 / nn) * 2.0 * t.t_msg + t.t_req + t.t_exec;
+}
+
+double arbiter_service_heavy(std::size_t n, const Timing& t) {
+  const double nn = static_cast<double>(n);
+  return (1.0 - 1.0 / nn) * t.t_msg + t.t_req +
+         (nn / 2.0 + 1.0) * (t.t_msg + t.t_exec);
+}
+
+double ricart_agrawala_messages(std::size_t n) {
+  return 2.0 * (static_cast<double>(n) - 1.0);
+}
+
+double lamport_messages(std::size_t n) {
+  return 3.0 * (static_cast<double>(n) - 1.0);
+}
+
+double suzuki_kasami_messages(std::size_t n) {
+  return static_cast<double>(n);
+}
+
+double centralized_messages() { return 3.0; }
+
+double raymond_messages_heavy() { return 4.0; }
+
+double raymond_messages_light(std::size_t n) {
+  return 2.0 * std::log2(static_cast<double>(n));
+}
+
+double maekawa_messages_low(std::size_t n) {
+  return 3.0 * std::sqrt(static_cast<double>(n));
+}
+
+double maekawa_messages_high(std::size_t n) {
+  return 5.0 * std::sqrt(static_cast<double>(n));
+}
+
+}  // namespace dmx::analysis

@@ -1,0 +1,65 @@
+// Closed-form performance models.
+//
+// Section 3 of the paper derives the average number of messages per CS
+// invocation (M-bar) and the average service time per CS (X-bar) of the
+// arbiter token-passing algorithm at the two load extremes:
+//
+//   Light load:  M = (N^2 - 1) / N                                  (Eq. 1)
+//                X = (1 - 1/N) * 2*Tmsg + Treq + Texec              (Eq. 3)
+//   Heavy load:  M = 3 - 2/N                                        (Eq. 4)
+//                X = (1 - 1/N)*Tmsg + Treq + (N/2 + 1)(Tmsg+Texec)  (Eq. 6)
+//
+// We add the textbook per-CS message counts of every baseline so the
+// comparison benches can print analytic columns next to measured ones.
+#pragma once
+
+#include <cstddef>
+
+namespace dmx::analysis {
+
+/// Timing parameters shared by the models (in abstract time units).
+struct Timing {
+  double t_msg = 0.1;
+  double t_exec = 0.1;
+  double t_req = 0.1;
+};
+
+// --- the paper's algorithm ---------------------------------------------------
+
+/// Eq. (1): average messages per CS at very light load.
+double arbiter_messages_light(std::size_t n);
+
+/// Eq. (4): average messages per CS at heavy load.
+double arbiter_messages_heavy(std::size_t n);
+
+/// Eq. (3): average service time per CS at very light load.
+double arbiter_service_light(std::size_t n, const Timing& t);
+
+/// Eq. (6): average service time per CS at heavy load.
+double arbiter_service_heavy(std::size_t n, const Timing& t);
+
+// --- baselines (messages per CS) ---------------------------------------------
+
+/// Ricart–Agrawala: 2(N-1) always.
+double ricart_agrawala_messages(std::size_t n);
+
+/// Lamport: 3(N-1) always.
+double lamport_messages(std::size_t n);
+
+/// Suzuki–Kasami: N (N-1 broadcast REQUESTs + 1 token), 0 if holder re-enters.
+double suzuki_kasami_messages(std::size_t n);
+
+/// Centralized coordinator: 3 (request, grant, release).
+double centralized_messages();
+
+/// Raymond's tree: ~4 at heavy load; O(log N) at light load.  Returns the
+/// heavy-load figure the paper cites.
+double raymond_messages_heavy();
+/// Raymond light-load approximation: 2 * average tree distance ~ 2*log2(N).
+double raymond_messages_light(std::size_t n);
+
+/// Maekawa: between 3*sqrt(N) (no contention) and 5*sqrt(N).
+double maekawa_messages_low(std::size_t n);
+double maekawa_messages_high(std::size_t n);
+
+}  // namespace dmx::analysis

@@ -1,0 +1,92 @@
+#include "baselines/centralized.hpp"
+
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct CRequestMsg final : net::Payload {
+  std::uint64_t request_id;
+  explicit CRequestMsg(std::uint64_t id) : request_id(id) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "C-REQUEST";
+  }
+};
+
+struct CGrantMsg final : net::Payload {
+  std::uint64_t request_id;
+  explicit CGrantMsg(std::uint64_t id) : request_id(id) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "C-GRANT";
+  }
+};
+
+struct CReleaseMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "C-RELEASE";
+  }
+};
+
+}  // namespace
+
+CentralizedMutex::CentralizedMutex(net::NodeId coordinator,
+                                   std::size_t n_nodes)
+    : coordinator_(coordinator) {
+  if (!coordinator.valid() || coordinator.index() >= n_nodes) {
+    throw std::invalid_argument("CentralizedMutex: bad coordinator");
+  }
+}
+
+void CentralizedMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("CentralizedMutex::request: already pending");
+  }
+  pending_ = req;
+  if (id() == coordinator_) {
+    queue_.push_back(Waiting{id(), req.request_id});
+    coordinator_grant_next();
+    return;
+  }
+  send(coordinator_, net::make_payload<CRequestMsg>(req.request_id));
+}
+
+void CentralizedMutex::release() {
+  pending_.reset();
+  if (id() == coordinator_) {
+    resource_busy_ = false;
+    coordinator_grant_next();
+    return;
+  }
+  send(coordinator_, net::make_payload<CReleaseMsg>());
+}
+
+void CentralizedMutex::coordinator_grant_next() {
+  if (resource_busy_ || queue_.empty()) return;
+  const Waiting w = queue_.front();
+  queue_.pop_front();
+  resource_busy_ = true;
+  if (w.node == id()) {
+    grant(*pending_);
+    return;
+  }
+  send(w.node, net::make_payload<CGrantMsg>(w.request_id));
+}
+
+void CentralizedMutex::handle(const net::Envelope& env) {
+  if (const auto* req = env.as<CRequestMsg>()) {
+    queue_.push_back(Waiting{env.src, req->request_id});
+    coordinator_grant_next();
+  } else if (env.as<CReleaseMsg>() != nullptr) {
+    resource_busy_ = false;
+    coordinator_grant_next();
+  } else if (const auto* g = env.as<CGrantMsg>()) {
+    if (pending_.has_value() && pending_->request_id == g->request_id) {
+      grant(*pending_);
+    }
+  } else {
+    throw std::logic_error("CentralizedMutex: unknown message");
+  }
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,100 @@
+#include "baselines/lamport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct LpRequestMsg final : net::Payload {
+  std::uint64_t ts;
+  explicit LpRequestMsg(std::uint64_t t) : ts(t) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "LP-REQUEST";
+  }
+};
+
+struct LpReplyMsg final : net::Payload {
+  std::uint64_t ts;
+  explicit LpReplyMsg(std::uint64_t t) : ts(t) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "LP-REPLY";
+  }
+};
+
+struct LpReleaseMsg final : net::Payload {
+  std::uint64_t ts;
+  std::uint64_t req_ts;
+  LpReleaseMsg(std::uint64_t t, std::uint64_t rt) : ts(t), req_ts(rt) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "LP-RELEASE";
+  }
+};
+
+}  // namespace
+
+LamportMutex::LamportMutex(std::size_t n_nodes)
+    : n_(n_nodes), last_heard_(n_nodes, 0) {}
+
+void LamportMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("Lamport::request: already pending");
+  }
+  pending_ = req;
+  my_ts_ = ++clock_;
+  queue_[{my_ts_, id().value()}] = true;
+  broadcast(net::make_payload<LpRequestMsg>(my_ts_));
+  try_enter();  // N == 1 degenerate case
+}
+
+void LamportMutex::release() {
+  in_cs_ = false;
+  queue_.erase({my_ts_, id().value()});
+  pending_.reset();
+  ++clock_;
+  broadcast(net::make_payload<LpReleaseMsg>(clock_, my_ts_));
+}
+
+void LamportMutex::try_enter() {
+  if (!pending_.has_value() || in_cs_) return;
+  if (queue_.empty()) return;
+  const auto& front = queue_.begin()->first;
+  if (front != std::make_pair(my_ts_, id().value())) return;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == id().index()) continue;
+    if (last_heard_[j] <= my_ts_) return;
+  }
+  in_cs_ = true;
+  grant(*pending_);
+}
+
+void LamportMutex::handle(const net::Envelope& env) {
+  if (const auto* req = env.as<LpRequestMsg>()) {
+    bump_clock(req->ts);
+    last_heard_[env.src.index()] =
+        std::max(last_heard_[env.src.index()], req->ts);
+    queue_[{req->ts, env.src.value()}] = true;
+    send(env.src, net::make_payload<LpReplyMsg>(++clock_));
+    try_enter();
+    return;
+  }
+  if (const auto* rep = env.as<LpReplyMsg>()) {
+    bump_clock(rep->ts);
+    last_heard_[env.src.index()] =
+        std::max(last_heard_[env.src.index()], rep->ts);
+    try_enter();
+    return;
+  }
+  if (const auto* rel = env.as<LpReleaseMsg>()) {
+    bump_clock(rel->ts);
+    last_heard_[env.src.index()] =
+        std::max(last_heard_[env.src.index()], rel->ts);
+    queue_.erase({rel->req_ts, env.src.value()});
+    try_enter();
+    return;
+  }
+  throw std::logic_error("Lamport: unknown message");
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,50 @@
+// Lamport's timestamp mutual exclusion (CACM 1978 / JACM 1986).
+//
+// The 3(N-1)-messages-per-CS classic: REQUEST broadcast + REPLY from
+// everyone + RELEASE broadcast, with every node maintaining a replicated
+// request queue ordered by (timestamp, id).  A node enters its CS when its
+// own request heads its local queue and it has heard something later than
+// its request timestamp from every other node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mutex/api.hpp"
+
+namespace dmx::baselines {
+
+class LamportMutex final : public mutex::MutexAlgorithm {
+ public:
+  explicit LamportMutex(std::size_t n_nodes);
+
+  void request(const mutex::CsRequest& req) override;
+  void release() override;
+  [[nodiscard]] std::string_view algorithm_name() const override {
+    return "lamport";
+  }
+
+ protected:
+  void handle(const net::Envelope& env) override;
+
+ private:
+  void try_enter();
+  void bump_clock(std::uint64_t seen) {
+    clock_ = std::max(clock_, seen) + 1;
+  }
+
+  std::size_t n_;
+  std::uint64_t clock_ = 0;
+  std::optional<mutex::CsRequest> pending_;
+  bool in_cs_ = false;
+  std::uint64_t my_ts_ = 0;
+
+  /// Replicated request queue: (ts, node) -> present.
+  std::map<std::pair<std::uint64_t, std::int32_t>, bool> queue_;
+  /// Timestamp of the last message received from each node.
+  std::vector<std::uint64_t> last_heard_;
+};
+
+}  // namespace dmx::baselines

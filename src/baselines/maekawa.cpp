@@ -1,0 +1,282 @@
+#include "baselines/maekawa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct MkRequestMsg final : net::Payload {
+  std::uint64_t ts;
+  explicit MkRequestMsg(std::uint64_t t) : ts(t) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "MK-REQUEST";
+  }
+};
+struct MkLockedMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "MK-LOCKED";
+  }
+};
+struct MkFailedMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "MK-FAILED";
+  }
+};
+struct MkInquireMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "MK-INQUIRE";
+  }
+};
+struct MkYieldMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "MK-YIELD";
+  }
+};
+struct MkReleaseMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "MK-RELEASE";
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<net::NodeId>> build_grid_quorums(std::size_t n) {
+  const auto k = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<std::vector<net::NodeId>> quorums(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::set<std::size_t> members;
+    const std::size_t row = i / k;
+    const std::size_t col = i % k;
+    for (std::size_t c = 0; c < k; ++c) {
+      const std::size_t j = row * k + c;
+      if (j < n) members.insert(j);
+    }
+    for (std::size_t r = 0; r * k + col < n; ++r) members.insert(r * k + col);
+    members.insert(i);
+    for (std::size_t m : members) {
+      quorums[i].push_back(net::NodeId{static_cast<std::int32_t>(m)});
+    }
+  }
+  // Verify pairwise intersection; a ragged last row can break it.
+  bool ok = true;
+  for (std::size_t a = 0; a < n && ok; ++a) {
+    for (std::size_t b = a + 1; b < n && ok; ++b) {
+      bool intersect = false;
+      for (net::NodeId x : quorums[a]) {
+        if (std::find(quorums[b].begin(), quorums[b].end(), x) !=
+            quorums[b].end()) {
+          intersect = true;
+          break;
+        }
+      }
+      ok = intersect;
+    }
+  }
+  if (!ok) {
+    for (auto& q : quorums) {
+      if (std::find(q.begin(), q.end(), net::NodeId{0}) == q.end()) {
+        q.push_back(net::NodeId{0});
+      }
+    }
+  }
+  return quorums;
+}
+
+std::vector<std::vector<net::NodeId>> build_tree_quorums(std::size_t n) {
+  std::vector<std::vector<net::NodeId>> quorums(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<net::NodeId> q;
+    // Ancestors of i up to the root (inclusive).
+    std::size_t up = i;
+    for (;;) {
+      q.push_back(net::NodeId{static_cast<std::int32_t>(up)});
+      if (up == 0) break;
+      up = (up - 1) / 2;
+    }
+    std::reverse(q.begin(), q.end());  // root first, for readability
+    // Descend leftmost from i to a leaf.
+    std::size_t down = i;
+    while (2 * down + 1 < n) {
+      down = 2 * down + 1;
+      q.push_back(net::NodeId{static_cast<std::int32_t>(down)});
+    }
+    quorums[i] = std::move(q);
+  }
+  return quorums;
+}
+
+MaekawaMutex::MaekawaMutex(std::size_t n_nodes,
+                           std::vector<std::vector<net::NodeId>> quorums)
+    : n_(n_nodes), all_quorums_(std::move(quorums)) {
+  if (!all_quorums_.empty() && all_quorums_.size() != n_nodes) {
+    throw std::invalid_argument("Maekawa: quorum table size != N");
+  }
+}
+
+void MaekawaMutex::on_start() {
+  quorum_ = all_quorums_.empty() ? build_grid_quorums(n_)[id().index()]
+                                 : all_quorums_[id().index()];
+}
+
+void MaekawaMutex::dispatch(net::NodeId dst, const net::PayloadPtr& payload) {
+  if (dst == id()) {
+    handle_payload(id(), *payload);
+  } else {
+    send(dst, payload);
+  }
+}
+
+void MaekawaMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("Maekawa::request: already pending");
+  }
+  pending_ = req;
+  my_ts_ = ++clock_;
+  saw_failed_ = false;
+  votes_.clear();
+  auto msg = net::make_payload<MkRequestMsg>(my_ts_);
+  for (net::NodeId v : quorum_) dispatch(v, msg);
+}
+
+void MaekawaMutex::release() {
+  in_cs_ = false;
+  pending_.reset();
+  pending_inquires_.clear();
+  votes_.clear();
+  auto msg = net::make_payload<MkReleaseMsg>();
+  for (net::NodeId v : quorum_) dispatch(v, msg);
+}
+
+// --- requester side ---------------------------------------------------------
+
+void MaekawaMutex::requester_on_locked(net::NodeId voter) {
+  if (!pending_.has_value() || in_cs_) return;
+  votes_.insert(voter);
+  if (votes_.size() == quorum_.size()) {
+    in_cs_ = true;
+    pending_inquires_.clear();
+    grant(*pending_);
+  }
+}
+
+void MaekawaMutex::requester_on_failed(net::NodeId) {
+  saw_failed_ = true;
+  // We cannot currently win: yield every lock a voter inquired about.
+  // Move out first: dispatch() can self-deliver and re-enter this method.
+  const std::set<net::NodeId> inquirers = std::move(pending_inquires_);
+  pending_inquires_.clear();
+  for (net::NodeId v : inquirers) {
+    votes_.erase(v);
+    dispatch(v, net::make_payload<MkYieldMsg>());
+  }
+}
+
+void MaekawaMutex::requester_on_inquire(net::NodeId voter) {
+  if (in_cs_ || !pending_.has_value()) return;  // RELEASE will answer it
+  if (saw_failed_) {
+    votes_.erase(voter);
+    dispatch(voter, net::make_payload<MkYieldMsg>());
+  } else {
+    // We might still win; remember the inquiry and yield only if a FAILED
+    // proves we cannot.
+    pending_inquires_.insert(voter);
+  }
+}
+
+// --- voter side --------------------------------------------------------------
+
+void MaekawaMutex::voter_grant(Ticket t) {
+  locked_for_ = t;
+  inquired_ = false;
+  // Every queued request that is now a loser must learn it, or it may sit on
+  // inquired locks elsewhere forever (the deadlock-resolution rule).
+  // Snapshot first: dispatch() can self-deliver and mutate wait_q_.
+  std::vector<net::NodeId> losers;
+  for (const Ticket& w : wait_q_) {
+    if (t < w) losers.push_back(w.node);
+  }
+  dispatch(t.node, net::make_payload<MkLockedMsg>());
+  for (net::NodeId loser : losers) {
+    dispatch(loser, net::make_payload<MkFailedMsg>());
+  }
+}
+
+void MaekawaMutex::voter_on_request(net::NodeId from, std::uint64_t ts) {
+  const Ticket t{ts, from};
+  if (!locked_for_.has_value()) {
+    voter_grant(t);
+    return;
+  }
+  // FAILED if the newcomer loses to the current lock or to any queued
+  // request; otherwise it outranks the lock and the holder is inquired.
+  const bool beats_lock = t < *locked_for_;
+  const bool beats_queue = wait_q_.empty() || t < *wait_q_.begin();
+  wait_q_.insert(t);
+  if (beats_lock && beats_queue) {
+    if (!inquired_) {
+      inquired_ = true;
+      dispatch(locked_for_->node, net::make_payload<MkInquireMsg>());
+    }
+  } else {
+    dispatch(from, net::make_payload<MkFailedMsg>());
+  }
+}
+
+void MaekawaMutex::voter_on_release(net::NodeId from) {
+  if (locked_for_.has_value() && locked_for_->node == from) {
+    locked_for_.reset();
+    inquired_ = false;
+    if (!wait_q_.empty()) {
+      const Ticket next = *wait_q_.begin();
+      wait_q_.erase(wait_q_.begin());
+      voter_grant(next);
+    }
+  } else {
+    // Release from a node that is not the lock holder: drop its queued
+    // ticket if any (stale YIELD/LOCKED crossings).
+    std::erase_if(wait_q_, [&](const Ticket& t) { return t.node == from; });
+  }
+}
+
+void MaekawaMutex::voter_on_yield(net::NodeId from) {
+  if (!locked_for_.has_value() || locked_for_->node != from) return;
+  // The holder steps aside: requeue it and grant the best waiting ticket.
+  wait_q_.insert(*locked_for_);
+  locked_for_.reset();
+  inquired_ = false;
+  if (!wait_q_.empty()) {
+    const Ticket next = *wait_q_.begin();
+    wait_q_.erase(wait_q_.begin());
+    voter_grant(next);
+  }
+}
+
+void MaekawaMutex::handle_payload(net::NodeId src,
+                                  const net::Payload& payload) {
+  if (const auto* req = dynamic_cast<const MkRequestMsg*>(&payload)) {
+    clock_ = std::max(clock_, req->ts) + 1;
+    voter_on_request(src, req->ts);
+  } else if (dynamic_cast<const MkLockedMsg*>(&payload) != nullptr) {
+    requester_on_locked(src);
+  } else if (dynamic_cast<const MkFailedMsg*>(&payload) != nullptr) {
+    requester_on_failed(src);
+  } else if (dynamic_cast<const MkInquireMsg*>(&payload) != nullptr) {
+    requester_on_inquire(src);
+  } else if (dynamic_cast<const MkYieldMsg*>(&payload) != nullptr) {
+    voter_on_yield(src);
+  } else if (dynamic_cast<const MkReleaseMsg*>(&payload) != nullptr) {
+    voter_on_release(src);
+  } else {
+    throw std::logic_error("Maekawa: unknown message");
+  }
+}
+
+void MaekawaMutex::handle(const net::Envelope& env) {
+  handle_payload(env.src, *env.payload);
+}
+
+}  // namespace dmx::baselines

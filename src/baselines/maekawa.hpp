@@ -1,0 +1,97 @@
+// Maekawa's sqrt(N) quorum algorithm (TOCS 1985), with the FAILED / INQUIRE /
+// YIELD deadlock-avoidance machinery.
+//
+// Discussed in the paper's §5.1 load-balance comparison.  Each node asks
+// permission only from its quorum (a grid row + column, ~2*sqrt(N) nodes,
+// any two quorums intersect); each voter grants one lock at a time.  A
+// requester that cannot currently win (received FAILED) yields inquired
+// locks so higher-priority requests proceed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "mutex/api.hpp"
+
+namespace dmx::baselines {
+
+/// Grid quorums: K = ceil(sqrt(N)); quorum(i) = row(i) ∪ column(i) ∪ {i}.
+/// If the grid is ragged (N not a perfect square) the pairwise-intersection
+/// property can fail for cells beyond N; build() then adds node 0 to every
+/// quorum, restoring the property at slightly higher quorum sizes.
+std::vector<std::vector<net::NodeId>> build_grid_quorums(std::size_t n);
+
+/// Tree quorums in the style of Agrawal–El Abbadi (the paper's reference
+/// [1]): arrange the nodes as a complete binary tree; quorum(i) is the
+/// root-to-leaf path through i (descending leftmost below i).  All quorums
+/// share the root, so pairwise intersection is immediate, and quorum size
+/// is O(log N) — the fault-substitution rules of the full protocol are out
+/// of scope here (this is its failure-free fast path).
+std::vector<std::vector<net::NodeId>> build_tree_quorums(std::size_t n);
+
+class MaekawaMutex final : public mutex::MutexAlgorithm {
+ public:
+  /// Default (empty `quorums`): grid quorums.  A custom table must satisfy
+  /// pairwise intersection and contain each node in its own quorum.
+  explicit MaekawaMutex(std::size_t n_nodes,
+                        std::vector<std::vector<net::NodeId>> quorums = {});
+
+  void request(const mutex::CsRequest& req) override;
+  void release() override;
+  [[nodiscard]] std::string_view algorithm_name() const override {
+    return "maekawa";
+  }
+
+  [[nodiscard]] const std::vector<net::NodeId>& quorum() const {
+    return quorum_;
+  }
+
+ protected:
+  void on_start() override;
+  void handle(const net::Envelope& env) override;
+
+ private:
+  struct Ticket {  // a prioritised request at a voter
+    std::uint64_t ts;
+    net::NodeId node;
+    friend auto operator<=>(const Ticket&, const Ticket&) = default;
+  };
+
+  // Requester side.
+  void requester_on_locked(net::NodeId voter);
+  void requester_on_failed(net::NodeId voter);
+  void requester_on_inquire(net::NodeId voter);
+
+  // Voter side.
+  void voter_on_request(net::NodeId from, std::uint64_t ts);
+  void voter_on_release(net::NodeId from);
+  void voter_on_yield(net::NodeId from);
+  void voter_grant(Ticket t);
+
+  /// Route a payload, short-circuiting self-delivery without network cost
+  /// (the standard accounting: a node does not message itself).
+  void dispatch(net::NodeId dst, const net::PayloadPtr& payload);
+  void handle_payload(net::NodeId src, const net::Payload& payload);
+
+  std::size_t n_;
+  std::vector<std::vector<net::NodeId>> all_quorums_;
+  std::vector<net::NodeId> quorum_;
+  std::uint64_t clock_ = 0;
+
+  // Requester state.
+  std::optional<mutex::CsRequest> pending_;
+  std::uint64_t my_ts_ = 0;
+  bool in_cs_ = false;
+  std::set<net::NodeId> votes_;
+  bool saw_failed_ = false;
+  std::set<net::NodeId> pending_inquires_;
+
+  // Voter state.
+  std::optional<Ticket> locked_for_;
+  bool inquired_ = false;
+  std::set<Ticket> wait_q_;
+};
+
+}  // namespace dmx::baselines

@@ -1,0 +1,96 @@
+#include "baselines/raymond.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct RyRequestMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "RY-REQUEST";
+  }
+};
+
+struct RyPrivilegeMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "RY-PRIVILEGE";
+  }
+};
+
+}  // namespace
+
+RaymondMutex::RaymondMutex(std::size_t n_nodes) : n_(n_nodes) {}
+
+void RaymondMutex::on_start() {
+  if (id().value() == 0) {
+    holder_self_ = true;
+  } else {
+    holder_ = RaymondTopology::parent_of(id());
+  }
+}
+
+void RaymondMutex::assign_privilege() {
+  if (!holder_self_ || using_ || request_q_.empty()) return;
+  const std::int32_t next = request_q_.front();
+  request_q_.pop_front();
+  if (next == kSelf) {
+    using_ = true;
+    grant(*pending_);
+    return;
+  }
+  holder_self_ = false;
+  holder_ = net::NodeId{next};
+  asked_ = false;
+  send(holder_, net::make_payload<RyPrivilegeMsg>());
+  // Ask the token back immediately if more requests are queued behind.
+  make_request();
+}
+
+void RaymondMutex::make_request() {
+  if (holder_self_ || request_q_.empty() || asked_) return;
+  asked_ = true;
+  send(holder_, net::make_payload<RyRequestMsg>());
+}
+
+void RaymondMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("Raymond::request: already pending");
+  }
+  pending_ = req;
+  request_q_.push_back(kSelf);
+  assign_privilege();
+  make_request();
+}
+
+void RaymondMutex::release() {
+  using_ = false;
+  pending_.reset();
+  assign_privilege();
+  make_request();
+}
+
+void RaymondMutex::handle(const net::Envelope& env) {
+  if (env.as<RyRequestMsg>() != nullptr) {
+    // Queue the requesting neighbour at most once (the asked_ flag on their
+    // side should already guarantee this).
+    if (std::find(request_q_.begin(), request_q_.end(), env.src.value()) ==
+        request_q_.end()) {
+      request_q_.push_back(env.src.value());
+    }
+    assign_privilege();
+    make_request();
+    return;
+  }
+  if (env.as<RyPrivilegeMsg>() != nullptr) {
+    holder_self_ = true;
+    asked_ = false;
+    assign_privilege();
+    make_request();
+    return;
+  }
+  throw std::logic_error("Raymond: unknown message");
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,10 @@
+// Registration hook for the baseline algorithm suite.
+#pragma once
+
+namespace dmx::baselines {
+
+/// Adds every baseline ("suzuki-kasami", "raymond", "ricart-agrawala",
+/// "singhal", "maekawa", "lamport", "centralized") to the global registry.
+void register_all();
+
+}  // namespace dmx::baselines

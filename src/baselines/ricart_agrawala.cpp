@@ -1,0 +1,88 @@
+#include "baselines/ricart_agrawala.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct RaRequestMsg final : net::Payload {
+  std::uint64_t ts;
+  explicit RaRequestMsg(std::uint64_t t) : ts(t) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "RA-REQUEST";
+  }
+};
+
+struct RaReplyMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "RA-REPLY";
+  }
+};
+
+}  // namespace
+
+RicartAgrawalaMutex::RicartAgrawalaMutex(std::size_t n_nodes)
+    : n_(n_nodes), deferred_(n_nodes, false) {}
+
+bool RicartAgrawalaMutex::they_win(std::uint64_t their_ts,
+                                   net::NodeId them) const {
+  if (their_ts != my_ts_) return their_ts < my_ts_;
+  return them < id();
+}
+
+void RicartAgrawalaMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("RicartAgrawala::request: already pending");
+  }
+  pending_ = req;
+  requesting_ = true;
+  my_ts_ = ++clock_;
+  replies_needed_ = n_ - 1;
+  if (replies_needed_ == 0) {
+    in_cs_ = true;
+    grant(*pending_);
+    return;
+  }
+  broadcast(net::make_payload<RaRequestMsg>(my_ts_));
+}
+
+void RicartAgrawalaMutex::release() {
+  in_cs_ = false;
+  requesting_ = false;
+  pending_.reset();
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (deferred_[j]) {
+      deferred_[j] = false;
+      send(net::NodeId{static_cast<std::int32_t>(j)},
+           net::make_payload<RaReplyMsg>());
+    }
+  }
+}
+
+void RicartAgrawalaMutex::handle(const net::Envelope& env) {
+  if (const auto* req = env.as<RaRequestMsg>()) {
+    clock_ = std::max(clock_, req->ts) + 1;
+    const bool defer =
+        in_cs_ || (requesting_ && !they_win(req->ts, env.src));
+    if (defer) {
+      deferred_[env.src.index()] = true;
+    } else {
+      send(env.src, net::make_payload<RaReplyMsg>());
+    }
+    return;
+  }
+  if (env.as<RaReplyMsg>() != nullptr) {
+    if (requesting_ && !in_cs_ && replies_needed_ > 0) {
+      if (--replies_needed_ == 0) {
+        in_cs_ = true;
+        grant(*pending_);
+      }
+    }
+    return;
+  }
+  throw std::logic_error("RicartAgrawala: unknown message");
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,45 @@
+// Ricart–Agrawala permission-based mutual exclusion (CACM 1981).
+//
+// The static comparator in the paper's Figure 6.  A requester timestamps its
+// request with a Lamport clock, broadcasts it (N-1 messages), and enters the
+// CS once all N-1 REPLYs arrive; nodes defer replies to lower-priority
+// requests while requesting or executing.  2(N-1) messages per CS at every
+// load level.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mutex/api.hpp"
+
+namespace dmx::baselines {
+
+class RicartAgrawalaMutex final : public mutex::MutexAlgorithm {
+ public:
+  explicit RicartAgrawalaMutex(std::size_t n_nodes);
+
+  void request(const mutex::CsRequest& req) override;
+  void release() override;
+  [[nodiscard]] std::string_view algorithm_name() const override {
+    return "ricart-agrawala";
+  }
+
+ protected:
+  void handle(const net::Envelope& env) override;
+
+ private:
+  /// True if (their_ts, their_id) has priority over our outstanding request.
+  [[nodiscard]] bool they_win(std::uint64_t their_ts, net::NodeId them) const;
+
+  std::size_t n_;
+  std::uint64_t clock_ = 0;
+  std::optional<mutex::CsRequest> pending_;
+  std::uint64_t my_ts_ = 0;      ///< Timestamp of the outstanding request.
+  bool requesting_ = false;
+  bool in_cs_ = false;
+  std::size_t replies_needed_ = 0;
+  std::vector<bool> deferred_;   ///< Replies to send on release.
+};
+
+}  // namespace dmx::baselines

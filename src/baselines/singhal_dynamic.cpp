@@ -1,0 +1,130 @@
+#include "baselines/singhal_dynamic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct SgRequestMsg final : net::Payload {
+  std::uint64_t sn;
+  explicit SgRequestMsg(std::uint64_t s) : sn(s) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "SG-REQUEST";
+  }
+};
+
+struct SgReplyMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override {
+    return "SG-REPLY";
+  }
+};
+
+}  // namespace
+
+SinghalDynamicMutex::SinghalDynamicMutex(std::size_t n_nodes)
+    : n_(n_nodes), sv_(n_nodes, SiteState::kNone), sn_(n_nodes, 0) {}
+
+void SinghalDynamicMutex::on_start() {
+  // Staircase initialization: site i believes sites 0..i-1 are requesting,
+  // so for any pair the higher-indexed site asks the lower-indexed one.
+  for (std::size_t j = 0; j < id().index(); ++j) {
+    sv_[j] = SiteState::kRequesting;
+  }
+}
+
+std::size_t SinghalDynamicMutex::request_set_size() const {
+  std::size_t c = 0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j != id().index() && sv_[j] == SiteState::kRequesting) ++c;
+  }
+  return c;
+}
+
+bool SinghalDynamicMutex::they_win(std::uint64_t their_sn,
+                                   net::NodeId them) const {
+  if (their_sn != my_sn_) return their_sn < my_sn_;
+  return them < id();
+}
+
+void SinghalDynamicMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("Singhal::request: already pending");
+  }
+  pending_ = req;
+  sv_[id().index()] = SiteState::kRequesting;
+  my_sn_ = ++sn_[id().index()];
+  awaiting_.clear();
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (j == id().index()) continue;
+    if (sv_[j] == SiteState::kRequesting) {
+      awaiting_.insert(net::NodeId{static_cast<std::int32_t>(j)});
+    }
+  }
+  auto msg = net::make_payload<SgRequestMsg>(my_sn_);
+  for (net::NodeId j : awaiting_) send(j, msg);
+  try_enter();
+}
+
+void SinghalDynamicMutex::try_enter() {
+  if (!pending_.has_value() || !awaiting_.empty()) return;
+  if (sv_[id().index()] == SiteState::kExecuting) return;
+  sv_[id().index()] = SiteState::kExecuting;
+  grant(*pending_);
+}
+
+void SinghalDynamicMutex::release() {
+  sv_[id().index()] = SiteState::kNone;
+  pending_.reset();
+  for (net::NodeId j : deferred_) {
+    sv_[j.index()] = SiteState::kRequesting;  // they are still waiting
+    send(j, net::make_payload<SgReplyMsg>());
+  }
+  deferred_.clear();
+}
+
+void SinghalDynamicMutex::handle(const net::Envelope& env) {
+  if (const auto* req = env.as<SgRequestMsg>()) {
+    sn_[env.src.index()] = std::max(sn_[env.src.index()], req->sn);
+    switch (sv_[id().index()]) {
+      case SiteState::kExecuting:
+        sv_[env.src.index()] = SiteState::kRequesting;
+        deferred_.insert(env.src);
+        break;
+      case SiteState::kRequesting:
+        if (they_win(req->sn, env.src)) {
+          sv_[env.src.index()] = SiteState::kRequesting;
+          send(env.src, net::make_payload<SgReplyMsg>());
+          // We had not asked them (they were believed idle); we now need
+          // their permission before entering.
+          if (!awaiting_.contains(env.src)) {
+            awaiting_.insert(env.src);
+            send(env.src, net::make_payload<SgRequestMsg>(my_sn_));
+          }
+        } else {
+          sv_[env.src.index()] = SiteState::kRequesting;
+          deferred_.insert(env.src);
+        }
+        break;
+      case SiteState::kNone:
+        sv_[env.src.index()] = SiteState::kRequesting;
+        send(env.src, net::make_payload<SgReplyMsg>());
+        break;
+    }
+    return;
+  }
+  if (env.as<SgReplyMsg>() != nullptr) {
+    // A reply means the sender is not ahead of us any more; unless a newer
+    // REQUEST from it is in flight (processed later), it is idle.
+    if (!deferred_.contains(env.src)) {
+      sv_[env.src.index()] = SiteState::kNone;
+    }
+    awaiting_.erase(env.src);
+    try_enter();
+    return;
+  }
+  throw std::logic_error("Singhal: unknown message");
+}
+
+}  // namespace dmx::baselines

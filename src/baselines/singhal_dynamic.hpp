@@ -1,0 +1,54 @@
+// Singhal's dynamic information-structure algorithm (IEEE TPDS 1992).
+//
+// The dynamic comparator in the paper's Figure 6.  Each site keeps a state
+// vector SV (what it believes each site is doing) and asks permission only
+// from the sites it believes are requesting.  The initial "staircase"
+// (site i asks sites 0..i-1) guarantees that for every pair at least one
+// asks the other; replies dynamically shrink request sets, so an idle
+// system converges to very few messages per CS — cheaper than the paper's
+// algorithm at very low load, costlier at moderate/high load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "mutex/api.hpp"
+
+namespace dmx::baselines {
+
+class SinghalDynamicMutex final : public mutex::MutexAlgorithm {
+ public:
+  explicit SinghalDynamicMutex(std::size_t n_nodes);
+
+  void request(const mutex::CsRequest& req) override;
+  void release() override;
+  [[nodiscard]] std::string_view algorithm_name() const override {
+    return "singhal";
+  }
+
+  /// Number of sites this node would currently ask (test hook).
+  [[nodiscard]] std::size_t request_set_size() const;
+
+ protected:
+  void on_start() override;
+  void handle(const net::Envelope& env) override;
+
+ private:
+  enum class SiteState : std::uint8_t { kNone, kRequesting, kExecuting };
+
+  /// True if (their_sn, their_id) has priority over our pending request.
+  [[nodiscard]] bool they_win(std::uint64_t their_sn, net::NodeId them) const;
+  void try_enter();
+
+  std::size_t n_;
+  std::vector<SiteState> sv_;       ///< Believed state per site.
+  std::vector<std::uint64_t> sn_;   ///< Highest sequence number per site.
+  std::optional<mutex::CsRequest> pending_;
+  std::uint64_t my_sn_ = 0;
+  std::set<net::NodeId> awaiting_;  ///< Replies still needed.
+  std::set<net::NodeId> deferred_;  ///< Replies owed after our CS.
+};
+
+}  // namespace dmx::baselines

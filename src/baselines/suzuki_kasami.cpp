@@ -1,0 +1,116 @@
+#include "baselines/suzuki_kasami.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct SkRequestMsg final : net::Payload {
+  net::NodeId node;
+  std::uint64_t n;
+  SkRequestMsg(net::NodeId j, std::uint64_t seq) : node(j), n(seq) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "SK-REQUEST";
+  }
+};
+
+struct SkTokenMsg final : net::Payload {
+  std::vector<std::uint64_t> ln;
+  std::deque<net::NodeId> queue;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "SK-TOKEN";
+  }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return ln.size() * 8 + queue.size() * 4;
+  }
+};
+
+}  // namespace
+
+SuzukiKasamiMutex::SuzukiKasamiMutex(std::size_t n_nodes,
+                                     net::NodeId initial_holder)
+    : initial_holder_(initial_holder), n_(n_nodes), rn_(n_nodes, 0),
+      ln_(n_nodes, 0) {
+  if (!initial_holder.valid() || initial_holder.index() >= n_nodes) {
+    throw std::invalid_argument("SuzukiKasami: bad initial holder");
+  }
+}
+
+void SuzukiKasamiMutex::on_start() {
+  if (id() == initial_holder_) have_token_ = true;
+}
+
+void SuzukiKasamiMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("SuzukiKasami::request: already pending");
+  }
+  pending_ = req;
+  ++rn_[id().index()];
+  if (have_token_ && !in_cs_) {
+    in_cs_ = true;
+    grant(*pending_);
+    return;  // zero messages: idle token holder re-enters directly
+  }
+  auto msg = net::make_payload<SkRequestMsg>(id(), rn_[id().index()]);
+  broadcast(msg);
+}
+
+void SuzukiKasamiMutex::release() {
+  in_cs_ = false;
+  pending_.reset();
+  ln_[id().index()] = rn_[id().index()];
+  // Append every node whose latest request is not yet granted and not
+  // already queued.
+  for (std::size_t j = 0; j < n_; ++j) {
+    const net::NodeId nj{static_cast<std::int32_t>(j)};
+    if (nj == id()) continue;
+    if (rn_[j] == ln_[j] + 1 &&
+        std::find(token_queue_.begin(), token_queue_.end(), nj) ==
+            token_queue_.end()) {
+      token_queue_.push_back(nj);
+    }
+  }
+  try_pass_token();
+}
+
+void SuzukiKasamiMutex::try_pass_token() {
+  if (!have_token_ || in_cs_ || token_queue_.empty()) return;
+  const net::NodeId next = token_queue_.front();
+  token_queue_.pop_front();
+  auto tok = std::make_shared<SkTokenMsg>();
+  tok->ln = ln_;
+  tok->queue = token_queue_;
+  have_token_ = false;
+  token_queue_.clear();
+  send(next, std::move(tok));
+}
+
+void SuzukiKasamiMutex::handle(const net::Envelope& env) {
+  if (const auto* req = env.as<SkRequestMsg>()) {
+    rn_[req->node.index()] = std::max(rn_[req->node.index()], req->n);
+    if (have_token_ && !in_cs_ &&
+        rn_[req->node.index()] == ln_[req->node.index()] + 1) {
+      token_queue_.push_back(req->node);
+      try_pass_token();
+    }
+    return;
+  }
+  if (const auto* tok = env.as<SkTokenMsg>()) {
+    have_token_ = true;
+    ln_ = tok->ln;
+    token_queue_ = tok->queue;
+    if (pending_.has_value() && !in_cs_) {
+      in_cs_ = true;
+      grant(*pending_);
+    } else {
+      // Spurious token arrival (cannot normally happen): pass it on.
+      try_pass_token();
+    }
+    return;
+  }
+  throw std::logic_error("SuzukiKasami: unknown message");
+}
+
+}  // namespace dmx::baselines

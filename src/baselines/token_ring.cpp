@@ -1,0 +1,123 @@
+#include "baselines/token_ring.hpp"
+
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct RingTokenMsg final : net::Payload {
+  std::uint32_t idle_hops;  ///< Consecutive hops without serving a CS.
+  explicit RingTokenMsg(std::uint32_t h) : idle_hops(h) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "RING-TOKEN";
+  }
+};
+
+/// Travels the ring looking for a parked token.
+struct RingWakeupMsg final : net::Payload {
+  std::uint32_t hops;
+  explicit RingWakeupMsg(std::uint32_t h) : hops(h) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "RING-WAKEUP";
+  }
+};
+
+}  // namespace
+
+TokenRingMutex::TokenRingMutex(std::size_t n_nodes, sim::SimTime hop_dwell)
+    : n_(n_nodes), hop_dwell_(hop_dwell) {
+  if (n_nodes == 0) throw std::invalid_argument("TokenRing: zero nodes");
+}
+
+void TokenRingMutex::on_start() {
+  if (id().value() == 0) {
+    // The token starts parked at node 0 (no demand yet).
+    have_token_ = true;
+    parked_ = true;
+  }
+}
+
+void TokenRingMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("TokenRing::request: already pending");
+  }
+  pending_ = req;
+  if (have_token_ && !in_cs_) {
+    cancel_timer(dwell_timer_);
+    parked_ = false;
+    in_cs_ = true;
+    grant(*pending_);
+    return;
+  }
+  // The token may be parked somewhere after a quiet revolution: wait one
+  // revolution for a circulating token, then chase a parked one with a
+  // wakeup that forwards along the ring until it finds the holder.  Keep
+  // re-sending each revolution until served: a wakeup can race past the
+  // token just before it parks.
+  arm_wakeup_timer();
+}
+
+void TokenRingMutex::arm_wakeup_timer() {
+  const sim::SimTime revolution =
+      (hop_dwell_ + sim::SimTime::units(0.2)) * static_cast<std::int64_t>(n_);
+  wakeup_timer_ = set_timer(revolution, [this] { send_wakeup(); });
+}
+
+void TokenRingMutex::send_wakeup() {
+  if (!pending_.has_value() || have_token_) return;
+  send(next_node(), net::make_payload<RingWakeupMsg>(0));
+  arm_wakeup_timer();
+}
+
+void TokenRingMutex::release() {
+  in_cs_ = false;
+  pending_.reset();
+  pass_token(0);
+}
+
+void TokenRingMutex::pass_token(std::uint32_t idle_hops) {
+  have_token_ = false;
+  parked_ = false;
+  send(next_node(), net::make_payload<RingTokenMsg>(idle_hops));
+}
+
+void TokenRingMutex::token_arrived(std::uint32_t idle_hops) {
+  have_token_ = true;
+  cancel_timer(wakeup_timer_);
+  if (pending_.has_value() && !in_cs_) {
+    in_cs_ = true;
+    grant(*pending_);
+    return;  // release() passes the token on with idle_hops = 0
+  }
+  if (idle_hops + 1 >= n_) {
+    // A full revolution with no demand: park here until a wakeup arrives.
+    parked_ = true;
+    return;
+  }
+  dwell_timer_ =
+      set_timer(hop_dwell_, [this, idle_hops] { pass_token(idle_hops + 1); });
+}
+
+void TokenRingMutex::handle(const net::Envelope& env) {
+  if (const auto* tok = env.as<RingTokenMsg>()) {
+    token_arrived(tok->idle_hops);
+    return;
+  }
+  if (const auto* wake = env.as<RingWakeupMsg>()) {
+    if (have_token_) {
+      if (parked_ && !in_cs_) {
+        parked_ = false;
+        pass_token(0);  // resume circulation toward the requester
+      }
+      return;  // the token is moving or busy: the wakeup is moot
+    }
+    if (wake->hops + 1 < n_) {
+      send(next_node(), net::make_payload<RingWakeupMsg>(wake->hops + 1));
+    }
+    return;
+  }
+  throw std::logic_error("TokenRing: unknown message");
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,958 @@
+#include "core/arbiter_mutex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace dmx::core {
+
+namespace {
+
+// Erase the first element matching the predicate; returns true if erased.
+template <typename Pred>
+bool erase_first(QList& q, Pred pred) {
+  auto it = std::find_if(q.begin(), q.end(), pred);
+  if (it == q.end()) return false;
+  q.erase(it);
+  return true;
+}
+
+}  // namespace
+
+void ArbiterStats::merge(const ArbiterStats& o) {
+  requests_sent += o.requests_sent;
+  requests_forwarded += o.requests_forwarded;
+  requests_dropped_stale += o.requests_dropped_stale;
+  requests_dropped_overforwarded += o.requests_dropped_overforwarded;
+  duplicates_dropped += o.duplicates_dropped;
+  resubmissions += o.resubmissions;
+  monitor_resubmissions += o.monitor_resubmissions;
+  dispatches += o.dispatches;
+  monitor_dispatches += o.monitor_dispatches;
+  new_arbiter_broadcasts += o.new_arbiter_broadcasts;
+  monitor_buffered += o.monitor_buffered;
+  monitor_patience_releases += o.monitor_patience_releases;
+  monitor_visits += o.monitor_visits;
+  stale_token_entries += o.stale_token_entries;
+  stale_tokens_discarded += o.stale_tokens_discarded;
+  warnings_sent += o.warnings_sent;
+  enquiries_sent += o.enquiries_sent;
+  resumes_sent += o.resumes_sent;
+  invalidates_sent += o.invalidates_sent;
+  tokens_regenerated += o.tokens_regenerated;
+  probes_sent += o.probes_sent;
+  arbiter_takeovers += o.arbiter_takeovers;
+  broadcast_retries += o.broadcast_retries;
+  arbiter_reasserts += o.arbiter_reasserts;
+  arbiter_abdications += o.arbiter_abdications;
+}
+
+ArbiterMutex::ArbiterMutex(ArbiterParams params, std::size_t n_nodes)
+    : params_(params), n_(n_nodes),
+      q_sizes_(params.q_window > 0 ? params.q_window : 1),
+      last_granted_(n_nodes, 0) {
+  if (n_nodes == 0) throw std::invalid_argument("ArbiterMutex: zero nodes");
+  if (!params_.initial_arbiter.valid() ||
+      params_.initial_arbiter.index() >= n_nodes) {
+    throw std::invalid_argument("ArbiterMutex: bad initial arbiter");
+  }
+  if (params_.starvation_free &&
+      (!params_.monitor.valid() || params_.monitor.index() >= n_nodes)) {
+    throw std::invalid_argument("ArbiterMutex: bad monitor node");
+  }
+}
+
+std::string_view ArbiterMutex::algorithm_name() const {
+  if (params_.starvation_free) return "arbiter-tp-sf";
+  if (params_.sequenced) return "arbiter-tp-seq";
+  return "arbiter-tp";
+}
+
+void ArbiterMutex::on_start() {
+  arbiter_ = params_.initial_arbiter;
+  monitor_ = params_.monitor;
+  if (id() == params_.initial_arbiter) {
+    // The initial arbiter also holds the initial token (paper §2.2: node 1
+    // is the arbiter and transmits the PRIVILEGE at the end of its first
+    // collection phase).
+    is_arbiter_ = true;
+    have_token_ = true;
+    phase_ = ArbiterPhase::kIdleWithToken;
+    ++times_arbiter_;
+    trace("arbiter", "initial arbiter with token");
+  }
+}
+
+void ArbiterMutex::on_restart() {
+  // A restarted node rejoins with a clean slate; it re-learns the arbiter
+  // from the next NEW-ARBITER broadcast (its stale belief is harmless: stale
+  // REQUESTs are forwarded or dropped-and-resubmitted).
+  have_token_ = false;
+  suspended_ = false;
+  q_.clear();
+  is_arbiter_ = false;
+  phase_ = ArbiterPhase::kNone;
+  collect_q_.clear();
+  forwarding_ = false;
+  pending_.reset();
+  pending_state_ = PendingState::kNone;
+  miss_count_ = 0;
+  served_this_batch_ = false;
+  monitor_buffer_.clear();
+  invalidation_running_ = false;
+  replied_waiting_round_ = 0;
+  enquiry_recipients_.clear();
+  replies_.clear();
+  waiting_entries_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Local request plane (driver-facing)
+// ---------------------------------------------------------------------------
+
+QEntry ArbiterMutex::make_own_entry() const {
+  QEntry e;
+  e.node = id();
+  e.request_id = pending_->request_id;
+  e.sequence = pending_->sequence;
+  e.priority = pending_->priority;
+  e.forward_count = 0;
+  return e;
+}
+
+void ArbiterMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("ArbiterMutex::request: request already pending");
+  }
+  pending_ = req;
+  pending_state_ = PendingState::kSent;
+  miss_count_ = 0;
+  retry_count_ = 0;
+  if (is_arbiter_) {
+    // The arbiter registers its own request locally: zero messages (this is
+    // the 1/N term of the paper's Eq. (1)).
+    arbiter_add_request(make_own_entry(), /*from_monitor=*/true);
+    return;
+  }
+  ++stats_.requests_sent;
+  send(arbiter_, net::make_payload<RequestMsg>(make_own_entry()));
+  arm_request_retry();
+}
+
+void ArbiterMutex::arm_request_retry() {
+  if (params_.request_retry_timeout <= sim::SimTime::zero()) return;
+  cancel_timer(request_retry_timer_);
+  request_retry_timer_ = set_timer(params_.request_retry_timeout, [this] {
+    // §6's timeout rule: our request vanished and the system may be idle
+    // (no NEW-ARBITER traffic to reveal the omission) — retransmit.
+    if (pending_.has_value() && pending_state_ == PendingState::kSent &&
+        !is_arbiter_) {
+      ++retry_count_;
+      if (retry_count_ % 3 == 0) {
+        // Repeated unicast retries are going nowhere (our arbiter belief is
+        // probably stale and the system quiet): broadcast the request as a
+        // last resort — whoever is the arbiter will collect it, everyone
+        // else drops it.
+        ++stats_.broadcast_retries;
+        trace("resubmit", "broadcast retry");
+        broadcast(net::make_payload<RequestMsg>(make_own_entry()));
+        arm_request_retry();
+      } else {
+        resubmit_pending(/*to_monitor=*/false);
+      }
+    }
+  });
+}
+
+void ArbiterMutex::release() {
+  if (pending_state_ != PendingState::kInCs) {
+    throw std::logic_error("ArbiterMutex::release: not in critical section");
+  }
+  served_this_batch_ = true;
+  if (params_.sequenced) {
+    last_granted_[id().index()] =
+        std::max(last_granted_[id().index()], pending_->sequence);
+  }
+  // Pop our just-served entry from the head of the Q-list.
+  if (!q_.empty() && q_.front().node == id() &&
+      q_.front().request_id == pending_->request_id) {
+    q_.erase(q_.begin());
+  }
+  pending_.reset();
+  pending_state_ = PendingState::kNone;
+  miss_count_ = 0;
+  retry_count_ = 0;
+  cancel_timer(token_timeout_timer_);
+  cancel_timer(request_retry_timer_);
+  process_token();
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void ArbiterMutex::handle(const net::Envelope& env) {
+  if (const auto* req = env.as<RequestMsg>()) {
+    on_request(env, *req);
+  } else if (const auto* priv = env.as<PrivilegeMsg>()) {
+    on_privilege(env, *priv);
+  } else if (const auto* na = env.as<NewArbiterMsg>()) {
+    on_new_arbiter(env, *na);
+  } else if (const auto* warn = env.as<WarningMsg>()) {
+    on_warning(env, *warn);
+  } else if (const auto* enq = env.as<EnquiryMsg>()) {
+    on_enquiry(env, *enq);
+  } else if (const auto* rep = env.as<EnquiryReplyMsg>()) {
+    on_enquiry_reply(env, *rep);
+  } else if (const auto* res = env.as<ResumeMsg>()) {
+    on_resume(env, *res);
+  } else if (const auto* inv = env.as<InvalidateMsg>()) {
+    on_invalidate(env, *inv);
+  } else if (env.as<ProbeMsg>() != nullptr) {
+    send(env.src, net::make_payload<ProbeReplyMsg>(is_arbiter_));
+  } else if (const auto* pr = env.as<ProbeReplyMsg>()) {
+    cancel_timer(probe_timer_);
+    if (pr->is_arbiter || is_arbiter_ || arbiter_ != env.src) {
+      // The successor is alive and on duty (it may simply have no demand to
+      // dispatch yet): the hand-off window is confirmed and the watchdog's
+      // job is done.  Not re-arming also lets an idle system go quiet.
+    } else {
+      // The successor is alive but never learned it was elected (its
+      // NEW-ARBITER was lost): arbitership is orphaned — take over.
+      takeover_arbitership();
+    }
+  } else {
+    throw std::logic_error("ArbiterMutex: unknown message type");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// REQUEST plane
+// ---------------------------------------------------------------------------
+
+void ArbiterMutex::on_request(const net::Envelope&, const RequestMsg& msg) {
+  if (is_arbiter_) {
+    arbiter_add_request(msg.entry, msg.from_monitor);
+    return;
+  }
+  if (params_.starvation_free && msg.to_monitor && id() == monitor_) {
+    // §4.1: the monitor stores potential victims of indefinite forwarding
+    // until the token visits.
+    if (!q_contains(QList(monitor_buffer_.begin(), monitor_buffer_.end()),
+                    msg.entry.request_id)) {
+      monitor_buffer_.push_back(msg.entry);
+      ++stats_.monitor_buffered;
+      trace("monitor", "buffered " + msg.describe());
+      if (params_.monitor_patience > sim::SimTime::zero() &&
+          !timer_pending(monitor_patience_timer_)) {
+        monitor_patience_timer_ = set_timer(params_.monitor_patience,
+                                            [this] { monitor_release_buffer(); });
+      }
+    }
+    return;
+  }
+  if (forwarding_ && arbiter_ != id()) {
+    // Request forwarding phase (§2.1): relay to the current arbiter.
+    QEntry fwd = msg.entry;
+    ++fwd.forward_count;
+    ++stats_.requests_forwarded;
+    send(arbiter_, net::make_payload<RequestMsg>(fwd, /*to_monitor=*/false,
+                                                 msg.from_monitor));
+    return;
+  }
+  if (params_.starvation_free && id() == monitor_ && arbiter_ != id()) {
+    // A stray REQUEST reached the monitor (e.g. routed here during a
+    // via-monitor hand-off); the monitor always knows a recent arbiter.
+    QEntry fwd = msg.entry;
+    ++fwd.forward_count;
+    ++stats_.requests_forwarded;
+    send(arbiter_, net::make_payload<RequestMsg>(fwd, /*to_monitor=*/false,
+                                                 msg.from_monitor));
+    return;
+  }
+  // Outside both phases: the basic algorithm drops the request; the
+  // requester detects the omission from NEW-ARBITER Q-lists (§6) and
+  // retransmits.
+  ++stats_.requests_dropped_stale;
+}
+
+void ArbiterMutex::arbiter_add_request(const QEntry& entry, bool from_monitor) {
+  if (params_.starvation_free && !from_monitor &&
+      entry.forward_count > static_cast<int>(params_.tau)) {
+    ++stats_.requests_dropped_overforwarded;
+    return;
+  }
+  if (q_contains(collect_q_, entry.request_id) ||
+      q_contains(last_batch_q_, entry.request_id) ||
+      (have_token_ && q_contains(q_, entry.request_id))) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (params_.sequenced &&
+      entry.node.index() < last_granted_.size() &&
+      entry.sequence <= last_granted_[entry.node.index()]) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  collect_q_.push_back(entry);
+  if (phase_ == ArbiterPhase::kIdleWithToken) {
+    // First demand after an idle spell opens a fresh collection window
+    // (Fig. 1's re-entered request-collection, event-driven).
+    open_collection_window();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arbiter plane
+// ---------------------------------------------------------------------------
+
+void ArbiterMutex::become_arbiter(net::NodeId prev_arbiter, QList last_batch) {
+  if (is_arbiter_) return;
+  is_arbiter_ = true;
+  phase_ = ArbiterPhase::kAwaitingToken;
+  prev_arbiter_ = prev_arbiter;
+  last_batch_q_ = std::move(last_batch);
+  ++times_arbiter_;
+  trace("arbiter", "became arbiter");
+  if (params_.recovery) arm_token_timeout();
+}
+
+void ArbiterMutex::open_collection_window() {
+  phase_ = ArbiterPhase::kWindow;
+  cancel_timer(window_timer_);
+  window_timer_ =
+      set_timer(params_.t_req, [this] { on_collection_window_end(); });
+}
+
+void ArbiterMutex::on_collection_window_end() {
+  if (collect_q_.empty()) {
+    phase_ = ArbiterPhase::kIdleWithToken;
+    return;
+  }
+  dispatch();
+}
+
+std::uint32_t ArbiterMutex::monitor_period() const {
+  const double avg = q_sizes_.mean(/*fallback=*/1.0);
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::ceil(avg)));
+}
+
+void ArbiterMutex::dedup_batch(QList& q) const {
+  std::unordered_set<std::uint64_t> seen;
+  std::erase_if(q, [&](const QEntry& e) {
+    if (params_.sequenced && e.node.index() < last_granted_.size() &&
+        e.sequence <= last_granted_[e.node.index()]) {
+      return true;
+    }
+    return !seen.insert(e.request_id).second;
+  });
+}
+
+void ArbiterMutex::dispatch() {
+  dedup_batch(collect_q_);
+  if (collect_q_.empty()) {
+    phase_ = ArbiterPhase::kIdleWithToken;
+    return;
+  }
+  order_batch(collect_q_, params_.order);
+  q_ = std::move(collect_q_);
+  collect_q_.clear();
+  ++stats_.dispatches;
+  trace("dispatch", "Q=" + q_to_string(q_));
+  note_scheduled_batch(q_);
+
+  if (params_.starvation_free && counter_ + 1 >= monitor_period()) {
+    // §4.1: route the token via the monitor, without a NEW-ARBITER
+    // broadcast; the monitor appends its buffer and broadcasts instead.
+    ++stats_.monitor_dispatches;
+    if (monitor_ == id()) {
+      monitor_token_visit();
+      return;
+    }
+    send_privilege(monitor_, /*via_monitor=*/true);
+    have_token_ = false;
+    is_arbiter_ = false;
+    phase_ = ArbiterPhase::kNone;
+    arbiter_ = monitor_;  // best forwarding target until the broadcast lands
+    enter_forwarding_phase();
+    arm_arbiter_watchdog();
+    return;
+  }
+  finish_dispatch_normal();
+}
+
+void ArbiterMutex::finish_dispatch_normal() {
+  const net::NodeId head = q_.front().node;
+  const net::NodeId tail = q_.back().node;
+  ++counter_;
+  const bool keep_arbitership = (tail == id());
+  // A batch holding only the arbiter's own request needs no messages at all
+  // (the 1/N zero-message case of the paper's Eq. (1)).  Every other batch
+  // is announced with a NEW-ARBITER broadcast, matching Eq. (4)'s N-1
+  // broadcasts per batch — even when the tail is the arbiter itself, unless
+  // the suppress_self_broadcast ablation is on.  Under recovery the
+  // broadcast is always sent so the previous arbiter's watchdog sees
+  // progress.
+  const bool sole_self_batch = keep_arbitership && q_.size() == 1;
+  const bool skip_broadcast =
+      params_.suppress_self_broadcast ? keep_arbitership : sole_self_batch;
+  if (!skip_broadcast || params_.recovery) {
+    auto msg = std::make_shared<NewArbiterMsg>();
+    msg->new_arbiter = tail;
+    msg->q = q_;
+    msg->counter = counter_;
+    msg->monitor = monitor_;
+    msg->epoch = epoch_;
+    broadcast(msg);
+    ++stats_.new_arbiter_broadcasts;
+  }
+  q_sizes_.add(static_cast<double>(q_.size()));  // broadcast skips self
+  arbiter_ = tail;
+  served_this_batch_ = false;
+  if (keep_arbitership) {
+    phase_ = ArbiterPhase::kAwaitingToken;
+    prev_arbiter_ = id();
+    last_batch_q_ = q_;
+    if (params_.recovery) arm_token_timeout();
+  } else {
+    is_arbiter_ = false;
+    phase_ = ArbiterPhase::kNone;
+    enter_forwarding_phase();
+    arm_arbiter_watchdog();
+  }
+  if (head == id()) {
+    process_token();  // grants our own pending request (we keep the token)
+  } else {
+    send_privilege(head, /*via_monitor=*/false);
+    have_token_ = false;
+  }
+}
+
+void ArbiterMutex::enter_forwarding_phase() {
+  forwarding_ = true;
+  cancel_timer(forwarding_timer_);
+  forwarding_timer_ = set_timer(params_.t_fwd, [this] { forwarding_ = false; });
+}
+
+// ---------------------------------------------------------------------------
+// Token plane
+// ---------------------------------------------------------------------------
+
+void ArbiterMutex::send_privilege(net::NodeId dst, bool via_monitor) {
+  auto msg = std::make_shared<PrivilegeMsg>();
+  msg->q = q_;
+  if (params_.sequenced) msg->last_granted = last_granted_;
+  msg->epoch = epoch_;
+  msg->via_monitor = via_monitor;
+  send(dst, std::move(msg));
+}
+
+void ArbiterMutex::on_privilege(const net::Envelope&,
+                                const PrivilegeMsg& msg) {
+  if (msg.epoch < epoch_) {
+    // A token from before an invalidation: it has been superseded.
+    ++stats_.stale_tokens_discarded;
+    trace("token", "discarded stale " + msg.describe());
+    return;
+  }
+  epoch_ = msg.epoch;
+  have_token_ = true;
+  q_ = msg.q;
+  if (params_.sequenced && !msg.last_granted.empty()) {
+    for (std::size_t i = 0; i < last_granted_.size() &&
+                            i < msg.last_granted.size(); ++i) {
+      last_granted_[i] = std::max(last_granted_[i], msg.last_granted[i]);
+    }
+  }
+  cancel_timer(token_timeout_timer_);
+  if (replied_waiting_round_ != 0) {
+    // We told an in-progress invalidation round "I am waiting"; entering the
+    // CS now could race a token regeneration.  Hold the token suspended and
+    // tell the arbiter it surfaced.
+    suspended_ = true;
+    auto reply = std::make_shared<EnquiryReplyMsg>();
+    reply->round = replied_waiting_round_;
+    reply->status = TokenStatus::kHaveToken;
+    send(arbiter_, std::move(reply));
+    return;
+  }
+  if (msg.via_monitor && params_.starvation_free && id() == monitor_) {
+    monitor_token_visit();
+    return;
+  }
+  process_token();
+}
+
+void ArbiterMutex::process_token() {
+  if (!have_token_ || suspended_) return;
+  while (!q_.empty() && q_.front().node == id()) {
+    if (pending_.has_value() && pending_state_ != PendingState::kInCs &&
+        q_.front().request_id == pending_->request_id) {
+      pending_state_ = PendingState::kInCs;
+      cancel_timer(token_timeout_timer_);
+      trace("cs", "entering critical section");
+      grant(*pending_);
+      return;  // release() resumes from here
+    }
+    // A stale entry for us (e.g. a resubmitted duplicate already served):
+    // consume it so the token keeps moving.
+    ++stats_.stale_token_entries;
+    q_.erase(q_.begin());
+  }
+  if (q_.empty()) {
+    arbiter_token_arrived();
+    return;
+  }
+  trace("token", "passing to node " + std::to_string(q_.front().node.value()));
+  send_privilege(q_.front().node, /*via_monitor=*/false);
+  have_token_ = false;
+}
+
+void ArbiterMutex::arbiter_token_arrived() {
+  if (!is_arbiter_) {
+    // The token arriving with an exhausted Q-list is itself proof of
+    // arbitership (§3.1), covering a lost or suppressed NEW-ARBITER.
+    become_arbiter(arbiter_, QList{});
+    arbiter_ = id();
+  }
+  cancel_timer(token_timeout_timer_);
+  trace("arbiter", "token arrived; collected=" + q_to_string(collect_q_));
+  if (collect_q_.empty()) {
+    phase_ = ArbiterPhase::kIdleWithToken;
+  } else {
+    open_collection_window();
+  }
+}
+
+void ArbiterMutex::monitor_token_visit() {
+  ++stats_.monitor_visits;
+  // Append buffered (potentially starving) requests to the Q-list, then
+  // broadcast the NEW-ARBITER the dispatching arbiter suppressed.
+  for (const QEntry& e : monitor_buffer_) q_.push_back(e);
+  monitor_buffer_.clear();
+  cancel_timer(monitor_patience_timer_);
+  dedup_batch(q_);
+  counter_ = 0;
+  if (params_.rotate_monitor) {
+    monitor_ = net::NodeId{
+        static_cast<std::int32_t>((id().index() + 1) % n_)};
+  }
+  if (q_.empty()) {
+    // Every entry was a duplicate; keep the token here as a fresh arbiter.
+    become_arbiter(arbiter_, QList{});
+    arbiter_ = id();
+    phase_ = collect_q_.empty() ? ArbiterPhase::kIdleWithToken
+                                : ArbiterPhase::kWindow;
+    if (phase_ == ArbiterPhase::kWindow) open_collection_window();
+    return;
+  }
+  const net::NodeId tail = q_.back().node;
+  auto msg = std::make_shared<NewArbiterMsg>();
+  msg->new_arbiter = tail;
+  msg->q = q_;
+  msg->counter = 0;
+  msg->monitor = monitor_;
+  msg->epoch = epoch_;
+  broadcast(msg);
+  ++stats_.new_arbiter_broadcasts;
+  q_sizes_.add(static_cast<double>(q_.size()));
+  arbiter_ = tail;
+  served_this_batch_ = false;
+  note_scheduled_batch(q_);
+  if (tail == id()) {
+    if (is_arbiter_) {
+      // We dispatched to ourselves as monitor and are also the next arbiter.
+      phase_ = ArbiterPhase::kAwaitingToken;
+      prev_arbiter_ = id();
+      last_batch_q_ = q_;
+      if (params_.recovery) arm_token_timeout();
+    } else {
+      become_arbiter(id(), q_);
+    }
+  } else if (is_arbiter_) {
+    // Inline monitor visit at the dispatching arbiter: arbitership moves on.
+    is_arbiter_ = false;
+    phase_ = ArbiterPhase::kNone;
+    enter_forwarding_phase();
+    arm_arbiter_watchdog();
+  }
+  trace("monitor", "token visit; Q=" + q_to_string(q_));
+  process_token();
+}
+
+void ArbiterMutex::monitor_release_buffer() {
+  if (monitor_buffer_.empty()) return;
+  // Implementation safeguard beyond the paper: the adaptive period only
+  // advances on dispatches, so a system that goes idle while the monitor
+  // buffers requests would starve them.  Release them to the arbiter as
+  // undroppable REQUESTs.
+  ++stats_.monitor_patience_releases;
+  for (const QEntry& e : monitor_buffer_) {
+    if (arbiter_ == id()) break;  // we became arbiter; re-buffering is moot
+    send(arbiter_, net::make_payload<RequestMsg>(e, /*to_monitor=*/false,
+                                                 /*from_monitor=*/true));
+  }
+  if (arbiter_ == id()) {
+    for (const QEntry& e : monitor_buffer_) {
+      arbiter_add_request(e, /*from_monitor=*/true);
+    }
+  }
+  monitor_buffer_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// NEW-ARBITER plane (requester bookkeeping, §6 implicit acks)
+// ---------------------------------------------------------------------------
+
+void ArbiterMutex::note_scheduled_batch(const QList& q) {
+  if (pending_.has_value() && pending_state_ == PendingState::kSent &&
+      q_contains(q, pending_->request_id)) {
+    pending_state_ = PendingState::kScheduled;
+    miss_count_ = 0;
+    retry_count_ = 0;
+    cancel_timer(request_retry_timer_);
+    if (params_.recovery) arm_token_timeout();
+  }
+}
+
+void ArbiterMutex::on_new_arbiter(const net::Envelope& env,
+                                  const NewArbiterMsg& msg) {
+  if (msg.epoch < epoch_) return;  // superseded by an invalidation
+  epoch_ = msg.epoch;
+  if (msg.new_arbiter != id() && is_arbiter_) {
+    // Someone else claims arbitership while we believe we hold it (only
+    // possible after recovery takeovers or lost broadcasts).
+    if (have_token_) {
+      // The token is the ground truth: re-assert our claim; the token-less
+      // claimant abdicates on receiving it.
+      ++stats_.arbiter_reasserts;
+      trace("recovery", "re-asserting arbitership (we hold the token)");
+      auto assert_msg = std::make_shared<NewArbiterMsg>();
+      assert_msg->new_arbiter = id();
+      assert_msg->counter = counter_;
+      assert_msg->monitor = monitor_;
+      assert_msg->epoch = epoch_;
+      broadcast(assert_msg);
+      ++stats_.new_arbiter_broadcasts;
+      return;  // keep our own arbiter_ = self
+    }
+    // Token-less: step down and hand our collected batch to the claimant.
+    ++stats_.arbiter_abdications;
+    trace("recovery", "abdicating to node " +
+                          std::to_string(msg.new_arbiter.value()));
+    is_arbiter_ = false;
+    phase_ = ArbiterPhase::kNone;
+    cancel_timer(window_timer_);
+    for (const QEntry& e : collect_q_) {
+      if (e.node != id()) {
+        send(msg.new_arbiter,
+             net::make_payload<RequestMsg>(e, /*to_monitor=*/false,
+                                           /*from_monitor=*/true));
+      }
+    }
+    collect_q_.clear();
+    if (pending_.has_value() && pending_state_ != PendingState::kInCs) {
+      pending_state_ = PendingState::kSent;  // re-register below via miss path
+    }
+  }
+  arbiter_ = msg.new_arbiter;
+  if (msg.monitor.valid()) monitor_ = msg.monitor;
+  counter_ = msg.counter;
+  if (!msg.q.empty()) q_sizes_.add(static_cast<double>(msg.q.size()));
+  served_this_batch_ = false;
+  replied_waiting_round_ = 0;  // progress resolves any invalidation round
+  cancel_timer(watchdog_timer_);
+  cancel_timer(probe_timer_);
+
+  if (msg.new_arbiter == id() && !is_arbiter_) {
+    become_arbiter(env.src, msg.q);
+  }
+
+  if (!pending_.has_value() || pending_state_ == PendingState::kInCs) return;
+
+  if (q_contains(msg.q, pending_->request_id)) {
+    // The Q-list doubles as the implicit acknowledgment (§6).
+    if (pending_state_ == PendingState::kSent) {
+      pending_state_ = PendingState::kScheduled;
+    }
+    miss_count_ = 0;
+    retry_count_ = 0;
+    cancel_timer(request_retry_timer_);
+    if (params_.recovery) arm_token_timeout();
+    return;
+  }
+
+  if (pending_state_ == PendingState::kScheduled) {
+    // A new batch was announced without the token ever reaching us: our
+    // PRIVILEGE (or our entry) was lost.  Retransmit immediately (§6).
+    pending_state_ = PendingState::kSent;
+    miss_count_ = 0;
+    resubmit_pending(/*to_monitor=*/false);
+    return;
+  }
+
+  // Still unscheduled: count the miss.
+  ++miss_count_;
+  if (params_.starvation_free && params_.tau > 0 && miss_count_ >= params_.tau &&
+      miss_count_ % params_.tau == 0) {
+    resubmit_pending(/*to_monitor=*/true);
+  } else if (params_.resubmit_after_misses > 0 &&
+             miss_count_ % params_.resubmit_after_misses == 0) {
+    resubmit_pending(/*to_monitor=*/false);
+  }
+}
+
+void ArbiterMutex::resubmit_pending(bool to_monitor) {
+  if (!pending_.has_value()) return;
+  if (is_arbiter_) {
+    arbiter_add_request(make_own_entry(), /*from_monitor=*/true);
+    return;
+  }
+  if (to_monitor) {
+    ++stats_.monitor_resubmissions;
+    trace("resubmit", "to monitor " + std::to_string(monitor_.value()));
+    if (monitor_ == id()) {
+      // We are the monitor: buffer our own entry directly.
+      if (!q_contains(QList(monitor_buffer_.begin(), monitor_buffer_.end()),
+                      pending_->request_id)) {
+        monitor_buffer_.push_back(make_own_entry());
+        ++stats_.monitor_buffered;
+        if (params_.monitor_patience > sim::SimTime::zero() &&
+            !timer_pending(monitor_patience_timer_)) {
+          monitor_patience_timer_ = set_timer(
+              params_.monitor_patience, [this] { monitor_release_buffer(); });
+        }
+      }
+      return;
+    }
+    send(monitor_,
+         net::make_payload<RequestMsg>(make_own_entry(), /*to_monitor=*/true));
+    return;
+  }
+  ++stats_.resubmissions;
+  trace("resubmit", "to arbiter " + std::to_string(arbiter_.value()));
+  send(arbiter_, net::make_payload<RequestMsg>(make_own_entry()));
+  arm_request_retry();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery plane (§6)
+// ---------------------------------------------------------------------------
+
+void ArbiterMutex::arm_token_timeout() {
+  if (!params_.recovery) return;
+  cancel_timer(token_timeout_timer_);
+  token_timeout_timer_ =
+      set_timer(params_.token_timeout, [this] { on_token_timeout(); });
+}
+
+void ArbiterMutex::on_token_timeout() {
+  if (have_token_) return;
+  if (is_arbiter_) {
+    if (!invalidation_running_) start_invalidation();
+  } else if (arbiter_.valid() && arbiter_ != id()) {
+    ++stats_.warnings_sent;
+    const std::uint64_t rid = pending_ ? pending_->request_id : 0;
+    auto w = std::make_shared<WarningMsg>();
+    w->request_id = rid;
+    send(arbiter_, std::move(w));
+  }
+  arm_token_timeout();  // keep watching until the token shows up
+}
+
+void ArbiterMutex::on_warning(const net::Envelope&, const WarningMsg&) {
+  if (!params_.recovery) return;
+  if (!is_arbiter_ || have_token_ || invalidation_running_) return;
+  start_invalidation();
+}
+
+void ArbiterMutex::start_invalidation() {
+  invalidation_running_ = true;
+  ++enquiry_round_;
+  replies_.clear();
+  waiting_entries_.clear();
+  enquiry_recipients_.clear();
+  std::unordered_set<net::NodeId> targets;
+  for (const QEntry& e : last_batch_q_) {
+    if (e.node != id()) targets.insert(e.node);
+  }
+  if (prev_arbiter_.valid() && prev_arbiter_ != id()) {
+    targets.insert(prev_arbiter_);
+  }
+  if (targets.empty()) {
+    // Takeover case: no known batch — ask everyone.
+    for (std::size_t i = 0; i < n_; ++i) {
+      const net::NodeId nid{static_cast<std::int32_t>(i)};
+      if (nid != id()) targets.insert(nid);
+    }
+  }
+  trace("recovery", "two-phase invalidation round " +
+                        std::to_string(enquiry_round_) + " (" +
+                        std::to_string(targets.size()) + " enquiries)");
+  for (net::NodeId t : targets) {
+    enquiry_recipients_.push_back(t);
+    auto e = std::make_shared<EnquiryMsg>();
+    e->round = enquiry_round_;
+    send(t, std::move(e));
+    ++stats_.enquiries_sent;
+  }
+  cancel_timer(enquiry_timer_);
+  enquiry_timer_ =
+      set_timer(params_.enquiry_timeout, [this] { conclude_invalidation(); });
+}
+
+void ArbiterMutex::on_enquiry(const net::Envelope& env, const EnquiryMsg& msg) {
+  auto reply = std::make_shared<EnquiryReplyMsg>();
+  reply->round = msg.round;
+  if (have_token_) {
+    reply->status = TokenStatus::kHaveToken;
+    suspended_ = true;  // phase 1: freeze the token until RESUME/INVALIDATE
+  } else if (pending_.has_value() &&
+             pending_state_ == PendingState::kScheduled) {
+    reply->status = TokenStatus::kWaiting;
+    reply->entry = make_own_entry();
+    replied_waiting_round_ = msg.round;
+  } else {
+    reply->status = TokenStatus::kExecutedAndPassed;
+  }
+  send(env.src, std::move(reply));
+}
+
+void ArbiterMutex::on_enquiry_reply(const net::Envelope& env,
+                                    const EnquiryReplyMsg& msg) {
+  if (!invalidation_running_ || msg.round != enquiry_round_) {
+    if (msg.status == TokenStatus::kHaveToken) {
+      // A token surfaced after we concluded loss and regenerated: it is
+      // stale under the new epoch — order it discarded.
+      auto inv = std::make_shared<InvalidateMsg>();
+      inv->round = msg.round;
+      inv->new_epoch = epoch_;
+      send(env.src, std::move(inv));
+      ++stats_.invalidates_sent;
+    }
+    return;
+  }
+  replies_[env.src] = msg.status;
+  if (msg.status == TokenStatus::kHaveToken) {
+    // Phase 2, token found: everything resumes.
+    auto r = std::make_shared<ResumeMsg>();
+    r->round = msg.round;
+    send(env.src, std::move(r));
+    ++stats_.resumes_sent;
+    invalidation_running_ = false;
+    cancel_timer(enquiry_timer_);
+    arm_token_timeout();  // keep waiting for the token to finish its route
+    return;
+  }
+  if (msg.status == TokenStatus::kWaiting) {
+    if (!q_contains(QList(waiting_entries_.begin(), waiting_entries_.end()),
+                    msg.entry.request_id)) {
+      waiting_entries_.push_back(msg.entry);
+    }
+  }
+  if (replies_.size() >= enquiry_recipients_.size()) {
+    conclude_invalidation();
+  }
+}
+
+void ArbiterMutex::conclude_invalidation() {
+  if (!invalidation_running_) return;
+  invalidation_running_ = false;
+  cancel_timer(enquiry_timer_);
+  // Phase 2, token lost: invalidate the waiting nodes' expectations and
+  // regenerate the token under a new epoch, with the waiters at the front
+  // of the Q-list.  Non-responders are presumed failed and excluded.
+  ++epoch_;
+  for (const QEntry& e : waiting_entries_) {
+    auto inv = std::make_shared<InvalidateMsg>();
+    inv->round = enquiry_round_;
+    inv->new_epoch = epoch_;
+    send(e.node, std::move(inv));
+    ++stats_.invalidates_sent;
+  }
+  collect_q_.insert(collect_q_.begin(), waiting_entries_.begin(),
+                    waiting_entries_.end());
+  if (pending_.has_value() && pending_state_ == PendingState::kScheduled &&
+      !q_contains(collect_q_, pending_->request_id)) {
+    collect_q_.insert(collect_q_.begin(), make_own_entry());
+  }
+  waiting_entries_.clear();
+  have_token_ = true;
+  suspended_ = false;
+  q_.clear();
+  last_batch_q_.clear();
+  ++stats_.tokens_regenerated;
+  trace("recovery", "token regenerated, epoch " + std::to_string(epoch_));
+  if (collect_q_.empty()) {
+    phase_ = ArbiterPhase::kIdleWithToken;
+  } else {
+    open_collection_window();
+  }
+}
+
+void ArbiterMutex::on_resume(const net::Envelope&, const ResumeMsg& msg) {
+  if (replied_waiting_round_ == msg.round) replied_waiting_round_ = 0;
+  if (!suspended_) return;
+  suspended_ = false;
+  trace("recovery", "resumed");
+  if (have_token_ && pending_state_ != PendingState::kInCs) process_token();
+}
+
+void ArbiterMutex::on_invalidate(const net::Envelope&,
+                                 const InvalidateMsg& msg) {
+  if (msg.new_epoch > epoch_) epoch_ = msg.new_epoch;
+  replied_waiting_round_ = 0;
+  if (have_token_) {
+    // Our (suspended or late-arriving) token has been superseded.
+    have_token_ = false;
+    suspended_ = false;
+    q_.clear();
+    ++stats_.stale_tokens_discarded;
+    trace("recovery", "held token invalidated");
+  }
+  if (pending_.has_value() && pending_state_ == PendingState::kScheduled) {
+    arm_token_timeout();  // the regenerated token will reach us
+  }
+}
+
+void ArbiterMutex::arm_arbiter_watchdog() {
+  if (!params_.recovery) return;
+  cancel_timer(watchdog_timer_);
+  watchdog_timer_ =
+      set_timer(params_.arbiter_timeout, [this] { on_successor_silent(); });
+}
+
+void ArbiterMutex::on_successor_silent() {
+  if (is_arbiter_ || arbiter_ == id()) return;
+  ++stats_.probes_sent;
+  trace("recovery", "probing silent arbiter " +
+                        std::to_string(arbiter_.value()));
+  send(arbiter_, net::make_payload<ProbeMsg>());
+  cancel_timer(probe_timer_);
+  probe_timer_ =
+      set_timer(params_.probe_timeout, [this] { takeover_arbitership(); });
+}
+
+void ArbiterMutex::takeover_arbitership() {
+  ++stats_.arbiter_takeovers;
+  trace("recovery", "arbiter takeover");
+  arbiter_ = id();
+  become_arbiter(net::NodeId{}, QList{});
+  auto msg = std::make_shared<NewArbiterMsg>();
+  msg->new_arbiter = id();
+  msg->counter = counter_;
+  msg->monitor = monitor_;
+  msg->epoch = epoch_;
+  broadcast(msg);
+  ++stats_.new_arbiter_broadcasts;
+  if (pending_.has_value() && pending_state_ != PendingState::kInCs &&
+      !q_contains(collect_q_, pending_->request_id)) {
+    pending_state_ = PendingState::kSent;
+    arbiter_add_request(make_own_entry(), /*from_monitor=*/true);
+  }
+}
+
+}  // namespace dmx::core

@@ -1,0 +1,154 @@
+// Wire messages of the arbiter token-passing algorithm.
+//
+// The basic protocol (paper §2.1) uses three messages: REQUEST, PRIVILEGE
+// (the token, carrying the Q-list) and NEW-ARBITER (carrying the Q-list and,
+// for the starvation-free variant of §4.1, a dispatch counter and the
+// monitor identity).  The failure-recovery protocol (§6) adds WARNING,
+// ENQUIRY, ENQUIRY-REPLY, RESUME, INVALIDATE, PROBE and PROBE-REPLY.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/q_list.hpp"
+#include "net/payload.hpp"
+
+namespace dmx::core {
+
+/// REQUEST(j[, n]): node j asks for its n-th critical section.
+struct RequestMsg final : net::Payload {
+  QEntry entry;
+  bool to_monitor = false;    ///< §4.1 resubmission: buffer at the monitor.
+  bool from_monitor = false;  ///< Monitor releases are never dropped (§4.1).
+
+  explicit RequestMsg(QEntry e, bool to_mon = false, bool from_mon = false)
+      : entry(e), to_monitor(to_mon), from_monitor(from_mon) {}
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "REQUEST";
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "REQUEST(node=" + std::to_string(entry.node.value()) +
+           ", seq=" + std::to_string(entry.sequence) +
+           ", fwd=" + std::to_string(entry.forward_count) + ")";
+  }
+};
+
+/// PRIVILEGE(Q[, L]): the token.  L (sequenced variant, §2.4) holds the
+/// sequence number of the last granted request per node.
+struct PrivilegeMsg final : net::Payload {
+  QList q;
+  std::vector<std::uint64_t> last_granted;  ///< Empty unless sequenced mode.
+  std::uint64_t epoch = 0;  ///< Token generation; bumped on regeneration (§6).
+  bool via_monitor = false;  ///< True when routed to the monitor node (§4.1).
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "PRIVILEGE";
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "PRIVILEGE(Q=" + q_to_string(q) +
+           ", epoch=" + std::to_string(epoch) + ")";
+  }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return 16 + q.size() * 16 + last_granted.size() * 8;
+  }
+};
+
+/// NEW-ARBITER(j): node j is the new arbiter.  Carries the scheduled Q-list
+/// (it doubles as the implicit acknowledgment of scheduled requests, §6) and
+/// the starvation-free variant's dispatch counter + monitor identity.
+struct NewArbiterMsg final : net::Payload {
+  net::NodeId new_arbiter;
+  QList q;                   ///< The batch just scheduled (token's Q-list).
+  std::uint32_t counter = 0; ///< Dispatches since the last monitor visit.
+  net::NodeId monitor;       ///< Current monitor (rotating-monitor extension).
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] std::string_view type_name() const override {
+    return "NEW-ARBITER";
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "NEW-ARBITER(" + std::to_string(new_arbiter.value()) +
+           ", Q=" + q_to_string(q) + ", c=" + std::to_string(counter) + ")";
+  }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return 24 + q.size() * 16;
+  }
+};
+
+// --- §6 failure recovery ----------------------------------------------------
+
+/// A scheduled node timed out waiting for the token.
+struct WarningMsg final : net::Payload {
+  std::uint64_t request_id = 0;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "WARNING";
+  }
+};
+
+/// Phase 1 of token invalidation: the arbiter asks Q-list members about the
+/// token's whereabouts.
+struct EnquiryMsg final : net::Payload {
+  std::uint64_t round = 0;  ///< Matches replies to the arbiter's round.
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ENQUIRY";
+  }
+};
+
+enum class TokenStatus : std::uint8_t {
+  kExecutedAndPassed,  ///< "I had the token, and have executed my CS."
+  kHaveToken,          ///< "I have the token."  (CS/forwarding suspended.)
+  kWaiting,            ///< "I am waiting for the token."
+};
+
+struct EnquiryReplyMsg final : net::Payload {
+  std::uint64_t round = 0;
+  TokenStatus status = TokenStatus::kWaiting;
+  QEntry entry;  ///< The replier's pending request when status is kWaiting,
+                 ///< so the arbiter can rebuild the regenerated Q-list.
+  [[nodiscard]] std::string_view type_name() const override {
+    return "ENQUIRY-REPLY";
+  }
+  [[nodiscard]] std::string describe() const override {
+    static constexpr std::array<const char*, 3> kNames = {
+        "executed-and-passed", "have-token", "waiting"};
+    return std::string("ENQUIRY-REPLY(") +
+           kNames[static_cast<std::size_t>(status)] + ")";
+  }
+};
+
+/// Phase 2, token found: normal operation resumes.
+struct ResumeMsg final : net::Payload {
+  std::uint64_t round = 0;
+  [[nodiscard]] std::string_view type_name() const override { return "RESUME"; }
+};
+
+/// Phase 2, token lost: outstanding PRIVILEGE expectations are void; the
+/// arbiter regenerates the token under a higher epoch.
+struct InvalidateMsg final : net::Payload {
+  std::uint64_t round = 0;
+  std::uint64_t new_epoch = 0;
+  [[nodiscard]] std::string_view type_name() const override {
+    return "INVALIDATE";
+  }
+};
+
+/// Previous arbiter probing a silent current arbiter.
+struct ProbeMsg final : net::Payload {
+  [[nodiscard]] std::string_view type_name() const override { return "PROBE"; }
+};
+
+struct ProbeReplyMsg final : net::Payload {
+  /// Whether the probed node actually considers itself the arbiter.  A
+  /// successor that never received the NEW-ARBITER electing it is alive but
+  /// not collecting; the prober must take over rather than probe forever.
+  bool is_arbiter = false;
+  explicit ProbeReplyMsg(bool arb) : is_arbiter(arb) {}
+  [[nodiscard]] std::string_view type_name() const override {
+    return "PROBE-REPLY";
+  }
+};
+
+}  // namespace dmx::core

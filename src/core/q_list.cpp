@@ -1,0 +1,15 @@
+#include "core/q_list.hpp"
+
+namespace dmx::core {
+
+std::string q_to_string(const QList& q) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(q[i].node.value());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dmx::core

@@ -1,0 +1,222 @@
+#include "harness/cli.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+#include "harness/table.hpp"
+#include "mutex/registry.hpp"
+#include "stats/confidence.hpp"
+
+namespace dmx::harness {
+
+namespace {
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument("trailing junk");
+    return d;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value for " + flag + ": '" +
+                                value + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    throw std::invalid_argument("bad integer value for " + flag + ": '" +
+                                value + "'");
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& flag,
+                                      const std::string& value) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item = value.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(parse_double(flag, item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("empty list for " + flag);
+  }
+  return out;
+}
+
+std::pair<std::string, std::string> split_kv(const std::string& flag,
+                                             const std::string& value) {
+  const std::size_t eq = value.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= value.size()) {
+    throw std::invalid_argument(flag + " expects key=value, got '" + value +
+                                "'");
+  }
+  return {value.substr(0, eq), value.substr(eq + 1)};
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return R"(dmx_sweep — sweep the distributed mutual exclusion simulator
+
+usage: dmx_sweep [flags]
+  --algo NAME            algorithm (see --list)        [arbiter-tp]
+  --n N                  number of nodes               [10]
+  --lambda X[,Y,...]     per-node arrival rate sweep   [0.5]
+  --requests K           CS requests per run           [100000]
+  --seeds R              replications per point        [3]
+  --t-msg X              message delay, time units     [0.1]
+  --t-exec X             CS execution time             [0.1]
+  --param key=value      algorithm parameter (repeatable), e.g.
+                         --param t_req=0.2 --param recovery=1
+  --delay KIND           constant | uniform | exponential [constant]
+  --jitter X             jitter width / mean for non-constant delays
+  --loss TYPE=P          drop probability per message type (repeatable)
+  --csv                  CSV output
+  --list                 list registered algorithms
+  --help                 this text
+)";
+}
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions o;
+  auto need_value = [&](std::size_t i, const std::string& flag) {
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument("missing value for " + flag);
+    }
+    return args[i + 1];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") {
+      o.help = true;
+    } else if (a == "--list") {
+      o.list = true;
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--algo") {
+      o.algorithm = need_value(i++, a);
+    } else if (a == "--n") {
+      o.n_nodes = static_cast<std::size_t>(parse_u64(a, need_value(i++, a)));
+      if (o.n_nodes == 0) throw std::invalid_argument("--n must be > 0");
+    } else if (a == "--lambda") {
+      o.lambdas = parse_double_list(a, need_value(i++, a));
+      for (double l : o.lambdas) {
+        if (l <= 0) throw std::invalid_argument("--lambda entries must be > 0");
+      }
+    } else if (a == "--requests") {
+      o.requests = parse_u64(a, need_value(i++, a));
+    } else if (a == "--seeds") {
+      o.seeds = static_cast<std::size_t>(parse_u64(a, need_value(i++, a)));
+      if (o.seeds == 0) throw std::invalid_argument("--seeds must be > 0");
+    } else if (a == "--t-msg") {
+      o.t_msg = parse_double(a, need_value(i++, a));
+    } else if (a == "--t-exec") {
+      o.t_exec = parse_double(a, need_value(i++, a));
+    } else if (a == "--param") {
+      const auto [k, v] = split_kv(a, need_value(i++, a));
+      // Numeric if it parses as a number, string otherwise.
+      try {
+        o.params.set(k, parse_double(a, v));
+      } catch (const std::invalid_argument&) {
+        o.params.set(k, v);
+      }
+    } else if (a == "--delay") {
+      const std::string v = need_value(i++, a);
+      if (v == "constant") {
+        o.delay_kind = DelayKind::kConstant;
+      } else if (v == "uniform") {
+        o.delay_kind = DelayKind::kUniform;
+      } else if (v == "exponential") {
+        o.delay_kind = DelayKind::kExponential;
+      } else {
+        throw std::invalid_argument("unknown --delay kind: " + v);
+      }
+    } else if (a == "--jitter") {
+      o.jitter = parse_double(a, need_value(i++, a));
+    } else if (a == "--loss") {
+      const auto [k, v] = split_kv(a, need_value(i++, a));
+      o.loss_by_type[k] = parse_double(a, v);
+    } else {
+      throw std::invalid_argument("unknown flag: " + a + "\n" + cli_usage());
+    }
+  }
+  return o;
+}
+
+int run_cli(const CliOptions& opts, std::ostream& os) {
+  register_builtin_algorithms();
+  if (opts.help) {
+    os << cli_usage();
+    return 0;
+  }
+  if (opts.list) {
+    for (const auto& name : mutex::Registry::instance().names()) {
+      os << name << "\n";
+    }
+    return 0;
+  }
+  if (!mutex::Registry::instance().contains(opts.algorithm)) {
+    os << "unknown algorithm '" << opts.algorithm << "'; try --list\n";
+    return 2;
+  }
+
+  Table table({"lambda", "msgs/cs", "response", "service", "sojourn",
+               "fwd_frac", "drained", "safety"});
+  bool sound = true;
+  for (double lambda : opts.lambdas) {
+    ExperimentConfig cfg;
+    cfg.algorithm = opts.algorithm;
+    cfg.n_nodes = opts.n_nodes;
+    cfg.lambda = lambda;
+    cfg.total_requests = opts.requests;
+    cfg.t_msg = opts.t_msg;
+    cfg.t_exec = opts.t_exec;
+    cfg.params = opts.params;
+    cfg.delay_kind = opts.delay_kind;
+    cfg.delay_jitter = opts.jitter;
+    for (const auto& [type, p] : opts.loss_by_type) {
+      cfg.loss_by_type[type] = p;
+    }
+    const auto runs = run_replicated(cfg, opts.seeds);
+    stats::Welford msgs, resp, svc, soj, fwd;
+    bool drained = true;
+    std::uint64_t violations = 0;
+    for (const auto& r : runs) {
+      msgs.add(r.messages_per_cs);
+      resp.add(r.response_time.mean());
+      svc.add(r.service_time.mean());
+      soj.add(r.sojourn_time.mean());
+      fwd.add(r.forwarded_fraction_of_requests);
+      drained = drained && r.drained;
+      violations += r.safety_violations;
+    }
+    sound = sound && drained && violations == 0;
+    table.add_row({Table::num(lambda, 3),
+                   stats::mean_ci_95(msgs).to_string(3),
+                   Table::num(resp.mean(), 4), Table::num(svc.mean(), 4),
+                   Table::num(soj.mean(), 4), Table::num(fwd.mean(), 4),
+                   drained ? "yes" : "NO",
+                   violations == 0 ? "ok" : "VIOLATED"});
+  }
+  os << "algorithm: " << opts.algorithm << "  N=" << opts.n_nodes
+     << "  requests/run=" << opts.requests << "  seeds=" << opts.seeds
+     << "\n";
+  if (opts.csv) {
+    table.print_csv(os);
+  } else {
+    table.print(os);
+  }
+  return sound ? 0 : 1;
+}
+
+}  // namespace dmx::harness

@@ -1,0 +1,54 @@
+// Command-line front end for the experiment harness (the dmx_sweep tool).
+//
+// Grammar (flags may repeat where noted):
+//   --algo NAME             algorithm to run        (default arbiter-tp)
+//   --n N                   cluster size            (default 10)
+//   --lambda X[,Y,...]      per-node arrival rates  (default 0.5)
+//   --requests K            CS requests per run     (default 100000)
+//   --seeds R               replications per point  (default 3)
+//   --t-msg X / --t-exec X  network / CS durations  (default 0.1 / 0.1)
+//   --param key=value       algorithm parameter     (repeatable)
+//   --delay constant|uniform|exponential [--jitter X]
+//   --loss TYPE=P           message-type loss       (repeatable)
+//   --csv                   emit CSV instead of an aligned table
+//   --list                  list registered algorithms and exit
+//   --help                  usage
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace dmx::harness {
+
+struct CliOptions {
+  std::string algorithm = "arbiter-tp";
+  std::size_t n_nodes = 10;
+  std::vector<double> lambdas = {0.5};
+  std::uint64_t requests = 100'000;
+  std::size_t seeds = 3;
+  double t_msg = 0.1;
+  double t_exec = 0.1;
+  mutex::ParamSet params;
+  DelayKind delay_kind = DelayKind::kConstant;
+  double jitter = 0.0;
+  std::map<std::string, double> loss_by_type;
+  bool csv = false;
+  bool list = false;
+  bool help = false;
+};
+
+/// Parses argv; throws std::invalid_argument with a message on bad input.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// Usage text for --help / errors.
+std::string cli_usage();
+
+/// Runs the sweep described by the options and writes the report to `os`.
+/// Returns a process exit code (non-zero if any run was unsafe or stuck).
+int run_cli(const CliOptions& opts, std::ostream& os);
+
+}  // namespace dmx::harness

@@ -1,0 +1,174 @@
+#include "harness/experiment.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "mutex/cs_driver.hpp"
+#include "mutex/registry.hpp"
+#include "mutex/safety_monitor.hpp"
+#include "net/delay_model.hpp"
+#include "runtime/cluster.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/generator.hpp"
+
+namespace dmx::harness {
+
+namespace {
+
+std::unique_ptr<net::DelayModel> make_delay(const ExperimentConfig& cfg) {
+  const sim::SimTime base = sim::SimTime::units(cfg.t_msg);
+  switch (cfg.delay_kind) {
+    case DelayKind::kConstant:
+      return std::make_unique<net::ConstantDelay>(base);
+    case DelayKind::kUniform:
+      return std::make_unique<net::UniformDelay>(
+          base, sim::SimTime::units(cfg.delay_jitter));
+    case DelayKind::kExponential:
+      return std::make_unique<net::ExponentialDelay>(
+          base, sim::SimTime::units(cfg.delay_jitter));
+  }
+  throw std::logic_error("unknown delay kind");
+}
+
+double auto_sim_bound(const ExperimentConfig& cfg) {
+  // Generous liveness backstop: the time to generate all requests at rate
+  // N*lambda plus the time to serve them all back-to-back, times ten.
+  const double gen_time = static_cast<double>(cfg.total_requests) /
+                          (cfg.lambda * static_cast<double>(cfg.n_nodes));
+  const double serve_time = static_cast<double>(cfg.total_requests) *
+                            (cfg.t_exec + 2.0 * cfg.t_msg + 0.5);
+  return 10.0 * (gen_time + serve_time) + 1000.0;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  register_builtin_algorithms();
+  if (cfg.n_nodes == 0) throw std::invalid_argument("run_experiment: N == 0");
+  if (cfg.lambda <= 0.0) {
+    throw std::invalid_argument("run_experiment: lambda <= 0");
+  }
+
+  runtime::Cluster cluster(cfg.n_nodes, make_delay(cfg), cfg.seed ^ 0x5eedULL);
+  for (const auto& [type, p] : cfg.loss_by_type) {
+    cluster.network().faults().set_loss_probability(type, p);
+  }
+
+  auto& registry = mutex::Registry::instance();
+  std::vector<mutex::MutexAlgorithm*> algos(cfg.n_nodes);
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+    const net::NodeId nid{static_cast<std::int32_t>(i)};
+    mutex::FactoryContext ctx{nid, cfg.n_nodes, cfg.params};
+    auto algo = registry.create(cfg.algorithm, ctx);
+    algos[i] = algo.get();
+    cluster.install(nid, std::move(algo));
+  }
+
+  mutex::SafetyMonitor monitor(cfg.strict_safety);
+  mutex::RequestIdSource ids;
+  std::vector<std::unique_ptr<mutex::CsDriver>> drivers;
+  drivers.reserve(cfg.n_nodes);
+  // Service-time distribution for percentile reporting.  The range covers
+  // saturation-level waits (~N * (t_msg + t_exec)) with margin; overflow is
+  // clamped to the top edge by Histogram::quantile.
+  stats::Histogram service_hist(
+      0.0, 50.0 * (cfg.t_msg + cfg.t_exec) * static_cast<double>(cfg.n_nodes),
+      4'096);
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+    drivers.push_back(std::make_unique<mutex::CsDriver>(
+        cluster.simulator(), *algos[i], sim::SimTime::units(cfg.t_exec),
+        &monitor, &ids));
+    drivers.back()->set_completion_callback(
+        [&service_hist, &cluster](const mutex::CsRequest& req) {
+          service_hist.add(cluster.simulator().now().to_units() -
+                           req.issued_at.to_units());
+        });
+  }
+
+  std::vector<mutex::CsDriver*> driver_ptrs;
+  std::vector<std::unique_ptr<workload::ArrivalProcess>> arrivals;
+  for (auto& d : drivers) {
+    driver_ptrs.push_back(d.get());
+    arrivals.push_back(std::make_unique<workload::PoissonArrivals>(cfg.lambda));
+  }
+  workload::OpenLoopGenerator gen(cluster.simulator(), std::move(driver_ptrs),
+                                  std::move(arrivals), cfg.total_requests,
+                                  cfg.seed);
+
+  cluster.start();
+  gen.start();
+  const double bound =
+      cfg.max_sim_units > 0.0 ? cfg.max_sim_units : auto_sim_bound(cfg);
+  cluster.simulator().run_until(sim::SimTime::units(bound));
+
+  ExperimentResult r;
+  r.algorithm = cfg.algorithm;
+  r.lambda = cfg.lambda;
+  r.submitted = gen.submitted();
+  for (const auto& d : drivers) {
+    r.completed += d->completed();
+    r.response_time.merge(d->response_time());
+    r.service_time.merge(d->service_time());
+    r.sojourn_time.merge(d->sojourn_time());
+    r.completions_per_node.push_back(d->completed());
+  }
+  r.drained = (r.completed == r.submitted) && r.submitted > 0;
+
+  const auto& net_stats = cluster.network().stats();
+  r.messages_total = net_stats.sent;
+  for (const auto& [type, count] : net_stats.sent_by_type.entries()) {
+    r.messages_by_type[type] = count;
+  }
+  r.messages_per_cs =
+      r.completed > 0 ? static_cast<double>(net_stats.sent) /
+                            static_cast<double>(r.completed)
+                      : 0.0;
+  r.bytes_total = net_stats.bytes_sent;
+  r.bytes_per_cs =
+      r.completed > 0 ? static_cast<double>(net_stats.bytes_sent) /
+                            static_cast<double>(r.completed)
+                      : 0.0;
+  r.service_p50 = service_hist.quantile(0.50);
+  r.service_p95 = service_hist.quantile(0.95);
+  r.service_p99 = service_hist.quantile(0.99);
+
+  for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+    if (auto* arb = dynamic_cast<core::ArbiterMutex*>(algos[i])) {
+      r.protocol.merge(arb->protocol_stats());
+      r.arbiter_terms_per_node.push_back(arb->times_arbiter());
+    }
+  }
+  const std::uint64_t request_msgs = r.messages_by_type.contains("REQUEST")
+                                         ? r.messages_by_type.at("REQUEST")
+                                         : 0;
+  if (request_msgs > 0) {
+    r.forwarded_fraction_of_requests =
+        static_cast<double>(r.protocol.requests_forwarded) /
+        static_cast<double>(request_msgs);
+  }
+  if (net_stats.sent > 0) {
+    r.forwarded_fraction_of_all =
+        static_cast<double>(r.protocol.requests_forwarded) /
+        static_cast<double>(net_stats.sent);
+  }
+
+  r.safety_violations = monitor.violations();
+  r.max_occupancy = monitor.max_occupancy();
+  r.sim_duration_units = cluster.simulator().now().to_units();
+  r.sim_events = cluster.simulator().events_executed();
+  return r;
+}
+
+std::vector<ExperimentResult> run_replicated(ExperimentConfig cfg,
+                                             std::size_t replications) {
+  std::vector<ExperimentResult> out;
+  out.reserve(replications);
+  const std::uint64_t base_seed = cfg.seed;
+  for (std::size_t i = 0; i < replications; ++i) {
+    cfg.seed = base_seed + 1000 * i + 17;
+    out.push_back(run_experiment(cfg));
+  }
+  return out;
+}
+
+}  // namespace dmx::harness

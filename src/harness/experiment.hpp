@@ -1,0 +1,99 @@
+// Experiment runner: one (algorithm, load, seed) point -> metrics.
+//
+// Reproduces the paper's methodology (§3.3): N nodes, per-node Poisson
+// arrivals at rate lambda, constant message delay T_msg and constant CS
+// execution time T_exec, event-driven simulation processing a fixed number
+// of CS requests, measuring messages per CS invocation, delay per CS, and
+// the fraction of forwarded request messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/arbiter_mutex.hpp"
+#include "mutex/params.hpp"
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+#include "stats/welford.hpp"
+
+namespace dmx::harness {
+
+enum class DelayKind { kConstant, kUniform, kExponential };
+
+struct ExperimentConfig {
+  std::string algorithm = "arbiter-tp";
+  std::size_t n_nodes = 10;
+  /// Per-node Poisson arrival rate, requests per time unit.
+  double lambda = 1.0;
+  double t_msg = 0.1;
+  double t_exec = 0.1;
+  /// Algorithm parameters forwarded to the factory (t_req, t_fwd, tau, ...).
+  mutex::ParamSet params;
+  std::uint64_t total_requests = 200'000;
+  std::uint64_t seed = 42;
+  /// Hard wall on simulated time (liveness backstop; a healthy run drains
+  /// its event queue long before this).
+  double max_sim_units = 0;  ///< 0 = auto (generous bound from the load).
+  bool strict_safety = false;
+  DelayKind delay_kind = DelayKind::kConstant;
+  /// Jitter knob for kUniform ([t_msg, t_msg+jitter)) / kExponential (mean).
+  double delay_jitter = 0.0;
+  /// Per-message-type loss probabilities (recovery experiments).
+  std::map<std::string, double> loss_by_type;
+};
+
+struct ExperimentResult {
+  std::string algorithm;
+  double lambda = 0.0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+
+  // Message economy (the paper's headline metric).
+  std::uint64_t messages_total = 0;
+  std::uint64_t bytes_total = 0;
+  std::map<std::string, std::uint64_t> messages_by_type;
+  double messages_per_cs = 0.0;
+  double bytes_per_cs = 0.0;
+  double forwarded_fraction_of_requests = 0.0;  ///< Fig. 5 numerator choice.
+  double forwarded_fraction_of_all = 0.0;
+
+  // Delay metrics (time units).
+  stats::Welford response_time;  ///< issue -> grant
+  stats::Welford service_time;   ///< issue -> CS exit (the paper's X-bar)
+  stats::Welford sojourn_time;   ///< arrival -> CS exit
+  double service_p50 = 0.0;      ///< Percentiles of the service time.
+  double service_p95 = 0.0;
+  double service_p99 = 0.0;
+
+  // Correctness.
+  std::uint64_t safety_violations = 0;
+  int max_occupancy = 0;
+  bool drained = false;  ///< All submitted requests completed.
+
+  // Fairness (§5.1).
+  std::vector<std::uint64_t> completions_per_node;
+  std::vector<std::uint64_t> arbiter_terms_per_node;  ///< arbiter-tp only.
+
+  // Protocol detail (arbiter-tp only; zero for baselines).
+  core::ArbiterStats protocol;
+
+  double sim_duration_units = 0.0;
+  std::uint64_t sim_events = 0;
+};
+
+/// Run a single simulation to completion and collect metrics.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Run `replications` seeds and return per-seed results (CI material).
+std::vector<ExperimentResult> run_replicated(ExperimentConfig cfg,
+                                             std::size_t replications);
+
+/// Register every algorithm shipped with the library ("arbiter-tp",
+/// "arbiter-tp-sf", "suzuki-kasami", "raymond", "ricart-agrawala",
+/// "singhal", "maekawa", "lamport", "centralized") in the global registry.
+/// Idempotent.
+void register_builtin_algorithms();
+
+}  // namespace dmx::harness

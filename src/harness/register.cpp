@@ -1,0 +1,40 @@
+// Registration of every algorithm shipped with the library.
+#include "baselines/registration.hpp"
+#include "core/arbiter_mutex.hpp"
+#include "harness/experiment.hpp"
+#include "mutex/registry.hpp"
+
+namespace dmx::harness {
+
+namespace {
+
+std::unique_ptr<mutex::MutexAlgorithm> make_arbiter(
+    const mutex::FactoryContext& ctx, bool starvation_free) {
+  core::ArbiterParams p = core::ArbiterParams::from_params(ctx.params);
+  p.starvation_free = starvation_free;
+  if (starvation_free && !ctx.params.has("monitor")) {
+    // Default the monitor to the highest node id (distinct from the default
+    // initial arbiter at node 0).
+    p.monitor = net::NodeId{static_cast<std::int32_t>(ctx.n_nodes - 1)};
+  }
+  return std::make_unique<core::ArbiterMutex>(p, ctx.n_nodes);
+}
+
+}  // namespace
+
+void register_builtin_algorithms() {
+  static const bool once = [] {
+    auto& reg = mutex::Registry::instance();
+    reg.add("arbiter-tp", [](const mutex::FactoryContext& ctx) {
+      return make_arbiter(ctx, /*starvation_free=*/false);
+    });
+    reg.add("arbiter-tp-sf", [](const mutex::FactoryContext& ctx) {
+      return make_arbiter(ctx, /*starvation_free=*/true);
+    });
+    baselines::register_all();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace dmx::harness

@@ -1,0 +1,31 @@
+// Aligned text tables and CSV output for bench/example programs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmx::harness {
+
+/// Collects rows of strings and prints them with aligned columns, in the
+/// style of the paper's figures rendered as tables (one row per x-value,
+/// one column per series).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmx::harness

@@ -1,0 +1,64 @@
+// Algorithm-agnostic distributed mutual exclusion API.
+//
+// Every algorithm in this library — the paper's arbiter token-passing
+// algorithm, its variants, and the seven baselines — implements
+// MutexAlgorithm.  The per-node CsDriver submits at most one outstanding
+// CsRequest at a time and the algorithm calls grant() when that node may
+// enter its critical section; the driver later calls release() when the
+// critical section completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "net/node_id.hpp"
+#include "runtime/process.hpp"
+#include "sim/time.hpp"
+
+namespace dmx::mutex {
+
+/// One critical-section request.
+struct CsRequest {
+  std::uint64_t request_id = 0;       ///< Globally unique.
+  net::NodeId node;                   ///< Requesting node.
+  std::uint64_t sequence = 0;         ///< Per-node CS count (1-based).
+  sim::SimTime submitted_at;          ///< Workload arrival time.
+  sim::SimTime issued_at;             ///< Handed to the algorithm.
+  int priority = 0;                   ///< Higher value = higher priority.
+};
+
+/// Base class for one node's half of a mutual exclusion protocol.
+///
+/// Contract:
+///  * request() is called only when no request by this node is outstanding.
+///  * The algorithm eventually calls grant() exactly once per request()
+///    (assuming no failures), after which the node is in its CS.
+///  * release() is called exactly once after each grant.
+class MutexAlgorithm : public runtime::Process {
+ public:
+  using GrantCallback = std::function<void(const CsRequest&)>;
+
+  /// The driver installs its grant callback before the cluster starts.
+  void set_grant_callback(GrantCallback cb) { grant_cb_ = std::move(cb); }
+
+  /// Ask for the critical section on behalf of this node.
+  virtual void request(const CsRequest& req) = 0;
+
+  /// The critical section granted earlier is complete; pass on permission.
+  virtual void release() = 0;
+
+  /// Short algorithm name for tables and traces (e.g. "arbiter-tp").
+  [[nodiscard]] virtual std::string_view algorithm_name() const = 0;
+
+ protected:
+  /// Subclasses call this when the local node may enter its CS.
+  void grant(const CsRequest& req) {
+    if (grant_cb_) grant_cb_(req);
+  }
+
+ private:
+  GrantCallback grant_cb_;
+};
+
+}  // namespace dmx::mutex

@@ -1,0 +1,103 @@
+#include "mutex/lock_space.hpp"
+
+#include <stdexcept>
+
+#include "mutex/registry.hpp"
+#include "net/delay_model.hpp"
+
+namespace dmx::mutex {
+
+LockSpace::LockSpace(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.n_nodes == 0 || cfg_.n_resources == 0) {
+    throw std::invalid_argument("LockSpace: nodes and resources must be > 0");
+  }
+  auto& registry = Registry::instance();
+  if (!registry.contains(cfg_.algorithm)) {
+    throw std::invalid_argument(
+        "LockSpace: algorithm not registered (call "
+        "harness::register_builtin_algorithms first): " +
+        cfg_.algorithm);
+  }
+  clusters_.reserve(cfg_.n_resources);
+  drivers_.resize(cfg_.n_resources);
+  for (std::size_t r = 0; r < cfg_.n_resources; ++r) {
+    clusters_.push_back(std::make_unique<runtime::Cluster>(
+        sim_, cfg_.n_nodes,
+        std::make_unique<net::ConstantDelay>(sim::SimTime::units(cfg_.t_msg)),
+        cfg_.seed * 7919 + r));
+    monitors_.push_back(std::make_unique<SafetyMonitor>());
+    for (std::size_t i = 0; i < cfg_.n_nodes; ++i) {
+      const net::NodeId nid{static_cast<std::int32_t>(i)};
+      FactoryContext ctx{nid, cfg_.n_nodes, cfg_.params};
+      auto algo = registry.create(cfg_.algorithm, ctx);
+      auto* algo_raw = algo.get();
+      clusters_[r]->install(nid, std::move(algo));
+      auto driver = std::make_unique<CsDriver>(
+          sim_, *dynamic_cast<MutexAlgorithm*>(algo_raw),
+          sim::SimTime::units(cfg_.t_exec), monitors_[r].get(), &ids_);
+      driver->set_grant_callback([this](const CsRequest&) {
+        ++current_parallel_;
+        if (current_parallel_ > max_parallel_) {
+          max_parallel_ = current_parallel_;
+        }
+      });
+      driver->set_completion_callback(
+          [this](const CsRequest&) { --current_parallel_; });
+      drivers_[r].push_back(std::move(driver));
+    }
+    clusters_[r]->start();
+  }
+}
+
+void LockSpace::acquire(std::size_t node, std::size_t resource, int priority) {
+  if (node >= cfg_.n_nodes || resource >= cfg_.n_resources) {
+    throw std::out_of_range("LockSpace::acquire: bad node or resource");
+  }
+  drivers_[resource][node]->submit(priority);
+}
+
+std::uint64_t LockSpace::safety_violations() const {
+  std::uint64_t v = 0;
+  for (const auto& m : monitors_) v += m->violations();
+  return v;
+}
+
+std::uint64_t LockSpace::total_completed() const {
+  std::uint64_t c = 0;
+  for (const auto& per_resource : drivers_) {
+    for (const auto& d : per_resource) c += d->completed();
+  }
+  return c;
+}
+
+std::uint64_t LockSpace::total_submitted() const {
+  std::uint64_t c = 0;
+  for (const auto& per_resource : drivers_) {
+    for (const auto& d : per_resource) c += d->submitted();
+  }
+  return c;
+}
+
+std::uint64_t LockSpace::completed(std::size_t resource) const {
+  std::uint64_t c = 0;
+  for (const auto& d : drivers_[resource]) c += d->completed();
+  return c;
+}
+
+std::uint64_t LockSpace::messages(std::size_t resource) const {
+  return clusters_[resource]->network().stats().sent;
+}
+
+std::uint64_t LockSpace::total_messages() const {
+  std::uint64_t m = 0;
+  for (const auto& c : clusters_) m += c->network().stats().sent;
+  return m;
+}
+
+stats::Welford LockSpace::sojourn(std::size_t resource) const {
+  stats::Welford w;
+  for (const auto& d : drivers_[resource]) w.merge(d->sojourn_time());
+  return w;
+}
+
+}  // namespace dmx::mutex

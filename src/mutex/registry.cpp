@@ -1,0 +1,33 @@
+#include "mutex/registry.hpp"
+
+#include <stdexcept>
+
+namespace dmx::mutex {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(const std::string& name, AlgorithmFactory factory) {
+  if (!factory) throw std::invalid_argument("Registry::add: null factory");
+  factories_[name] = std::move(factory);  // re-registration overwrites
+}
+
+std::unique_ptr<MutexAlgorithm> Registry::create(
+    const std::string& name, const FactoryContext& ctx) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("unknown mutual exclusion algorithm: " + name);
+  }
+  return it->second(ctx);
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [k, v] : factories_) out.push_back(k);
+  return out;
+}
+
+}  // namespace dmx::mutex

@@ -1,0 +1,48 @@
+// Name-indexed algorithm factory registry.
+//
+// The harness and the benches construct algorithm fleets by name so that one
+// sweep loop can compare "arbiter-tp" against "ricart-agrawala" etc.
+// Registration is explicit (dmx::harness::register_builtin_algorithms) to
+// avoid static-initialization-order traps with static libraries.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mutex/api.hpp"
+#include "mutex/params.hpp"
+
+namespace dmx::mutex {
+
+/// Everything a factory needs to build one node's algorithm instance.
+struct FactoryContext {
+  net::NodeId id;
+  std::size_t n_nodes = 0;
+  const ParamSet& params;
+};
+
+using AlgorithmFactory =
+    std::function<std::unique_ptr<MutexAlgorithm>(const FactoryContext&)>;
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  void add(const std::string& name, AlgorithmFactory factory);
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return factories_.contains(name);
+  }
+
+  [[nodiscard]] std::unique_ptr<MutexAlgorithm> create(
+      const std::string& name, const FactoryContext& ctx) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, AlgorithmFactory> factories_;
+};
+
+}  // namespace dmx::mutex

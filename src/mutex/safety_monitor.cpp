@@ -1,0 +1,35 @@
+#include "mutex/safety_monitor.hpp"
+
+#include <stdexcept>
+
+namespace dmx::mutex {
+
+void SafetyMonitor::on_enter(net::NodeId node, sim::SimTime t) {
+  ++entries_;
+  ++occupancy_;
+  if (occupancy_ > max_occupancy_) max_occupancy_ = occupancy_;
+  if (occupancy_ > 1) {
+    record_violation("node " + std::to_string(node.value()) +
+                     " entered CS at t=" + t.to_string() + " while node " +
+                     std::to_string(occupant_.value()) + " was inside");
+  }
+  occupant_ = node;
+}
+
+void SafetyMonitor::on_exit(net::NodeId node, sim::SimTime t) {
+  if (occupancy_ <= 0) {
+    record_violation("node " + std::to_string(node.value()) +
+                     " exited CS at t=" + t.to_string() +
+                     " with nobody inside");
+    return;
+  }
+  --occupancy_;
+}
+
+void SafetyMonitor::record_violation(const std::string& what) {
+  ++violations_;
+  if (!first_violation_) first_violation_ = what;
+  if (strict_) throw std::logic_error("mutual exclusion violated: " + what);
+}
+
+}  // namespace dmx::mutex

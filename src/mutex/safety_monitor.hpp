@@ -1,0 +1,48 @@
+// Global safety invariant checker.
+//
+// Mutual exclusion's safety property — at most one node inside the critical
+// section at any instant — is a *global* predicate that cannot be soundly
+// checked from inside any single node.  The deterministic simulator lets us
+// check it exactly: drivers report every CS entry/exit and the monitor
+// tracks concurrency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace dmx::mutex {
+
+class SafetyMonitor {
+ public:
+  /// If strict, a violation throws immediately (useful while debugging an
+  /// algorithm); otherwise violations are recorded for later assertion.
+  explicit SafetyMonitor(bool strict = false) : strict_(strict) {}
+
+  void on_enter(net::NodeId node, sim::SimTime t);
+  void on_exit(net::NodeId node, sim::SimTime t);
+
+  [[nodiscard]] std::uint64_t entries() const { return entries_; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] int current_occupancy() const { return occupancy_; }
+  [[nodiscard]] int max_occupancy() const { return max_occupancy_; }
+  [[nodiscard]] const std::optional<std::string>& first_violation() const {
+    return first_violation_;
+  }
+
+ private:
+  void record_violation(const std::string& what);
+
+  bool strict_;
+  int occupancy_ = 0;
+  int max_occupancy_ = 0;
+  net::NodeId occupant_;
+  std::uint64_t entries_ = 0;
+  std::uint64_t violations_ = 0;
+  std::optional<std::string> first_violation_;
+};
+
+}  // namespace dmx::mutex

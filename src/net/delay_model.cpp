@@ -1,0 +1,23 @@
+#include "net/delay_model.hpp"
+
+#include <stdexcept>
+
+namespace dmx::net {
+
+MatrixDelay::MatrixDelay(std::size_t n, std::vector<sim::SimTime> matrix)
+    : n_(n), matrix_(std::move(matrix)) {
+  if (matrix_.size() != n_ * n_) {
+    throw std::invalid_argument("MatrixDelay: matrix must be N x N");
+  }
+}
+
+sim::SimTime MatrixDelay::delay(NodeId src, NodeId dst, std::size_t,
+                                sim::Rng&) {
+  if (!src.valid() || !dst.valid() || src.index() >= n_ || dst.index() >= n_) {
+    throw std::out_of_range("MatrixDelay: node id out of range");
+  }
+  if (src == dst) return sim::SimTime::ticks(1);
+  return matrix_[src.index() * n_ + dst.index()];
+}
+
+}  // namespace dmx::net

@@ -1,0 +1,101 @@
+#include "net/fault_injector.hpp"
+
+#include <stdexcept>
+
+namespace dmx::net {
+
+void FaultInjector::set_loss_probability(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("loss probability must be in [0,1]");
+  }
+  global_loss_ = p;
+}
+
+void FaultInjector::set_loss_probability(const std::string& type_name,
+                                         double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("loss probability must be in [0,1]");
+  }
+  per_type_loss_[type_name] = p;
+}
+
+std::uint64_t FaultInjector::drop_next(Predicate pred) {
+  if (!pred) throw std::invalid_argument("drop_next: empty predicate");
+  const std::uint64_t id = next_one_shot_id_++;
+  one_shots_.push_back(OneShot{id, std::move(pred)});
+  return id;
+}
+
+bool FaultInjector::cancel_one_shot(std::uint64_t id) {
+  for (auto it = one_shots_.begin(); it != one_shots_.end(); ++it) {
+    if (it->id == id) {
+      one_shots_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::drop_next_of_type(std::string type_name,
+                                               NodeId src, NodeId dst) {
+  return drop_next([type_name = std::move(type_name), src,
+                    dst](const Envelope& env) {
+    if (env.payload->type_name() != type_name) return false;
+    if (src.valid() && env.src != src) return false;
+    if (dst.valid() && env.dst != dst) return false;
+    return true;
+  });
+}
+
+void FaultInjector::set_node_down(NodeId node, bool down) {
+  if (down) {
+    down_nodes_.insert(node);
+  } else {
+    down_nodes_.erase(node);
+  }
+}
+
+void FaultInjector::set_partition(std::vector<std::vector<NodeId>> groups) {
+  group_of_.clear();
+  int g = 0;
+  for (const auto& group : groups) {
+    for (NodeId n : group) group_of_[n] = g;
+    ++g;
+  }
+}
+
+bool FaultInjector::should_drop(const Envelope& env, sim::Rng& rng) {
+  if (down_nodes_.contains(env.src) || down_nodes_.contains(env.dst)) {
+    ++dropped_;
+    return true;
+  }
+  if (!group_of_.empty()) {
+    auto a = group_of_.find(env.src);
+    auto b = group_of_.find(env.dst);
+    const int ga = a == group_of_.end() ? -1 : a->second;
+    const int gb = b == group_of_.end() ? -1 : b->second;
+    if (ga != gb) {
+      ++dropped_;
+      return true;
+    }
+  }
+  for (auto it = one_shots_.begin(); it != one_shots_.end(); ++it) {
+    if (it->pred(env)) {
+      one_shots_.erase(it);
+      ++dropped_;
+      return true;
+    }
+  }
+  double p = global_loss_;
+  if (!per_type_loss_.empty()) {
+    auto it = per_type_loss_.find(std::string(env.payload->type_name()));
+    if (it != per_type_loss_.end()) p = it->second;
+  }
+  if (p > 0.0 && rng.chance(p)) {
+    ++dropped_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dmx::net

@@ -1,0 +1,74 @@
+// Message- and node-level fault injection.
+//
+// Section 6 of the paper analyses lost requests, lost tokens, crashed token
+// holders and crashed arbiters.  The injector lets experiments create exactly
+// those situations: probabilistic message loss (global or per message type),
+// one-shot targeted drops ("drop the next PRIVILEGE message"), network
+// partitions, and downed nodes (fail-silent: nothing in or out).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/payload.hpp"
+#include "sim/rng.hpp"
+
+namespace dmx::net {
+
+class FaultInjector {
+ public:
+  using Predicate = std::function<bool(const Envelope&)>;
+
+  /// Probability in [0,1] that any message is silently dropped.
+  void set_loss_probability(double p);
+
+  /// Per-message-type loss probability (overrides the global one).
+  void set_loss_probability(const std::string& type_name, double p);
+
+  /// Register a predicate that drops the first matching message, then
+  /// retires.  Returns an id usable with cancel_one_shot.
+  std::uint64_t drop_next(Predicate pred);
+  bool cancel_one_shot(std::uint64_t id);
+
+  /// Convenience: drop the next message of the given payload type
+  /// (optionally restricted to a src and/or dst).
+  std::uint64_t drop_next_of_type(std::string type_name,
+                                  NodeId src = NodeId{},
+                                  NodeId dst = NodeId{});
+
+  /// Mark a node as down (fail-silent) / back up.
+  void set_node_down(NodeId node, bool down);
+  [[nodiscard]] bool is_node_down(NodeId node) const {
+    return down_nodes_.contains(node);
+  }
+
+  /// Partition the network into groups; messages may only flow within a
+  /// group.  An empty partition list removes the partition.
+  void set_partition(std::vector<std::vector<NodeId>> groups);
+  void heal_partition() { group_of_.clear(); }
+
+  /// Decide the fate of a message about to be sent (or delivered).
+  /// Mutates one-shot state; uses rng for probabilistic loss.
+  bool should_drop(const Envelope& env, sim::Rng& rng);
+
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+
+ private:
+  double global_loss_ = 0.0;
+  std::unordered_map<std::string, double> per_type_loss_;
+  struct OneShot {
+    std::uint64_t id;
+    Predicate pred;
+  };
+  std::vector<OneShot> one_shots_;
+  std::uint64_t next_one_shot_id_ = 1;
+  std::unordered_set<NodeId> down_nodes_;
+  std::unordered_map<NodeId, int> group_of_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dmx::net

@@ -1,0 +1,85 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dmx::net {
+
+Network::Network(sim::Simulator& sim, std::size_t n_nodes,
+                 std::unique_ptr<DelayModel> delay, std::uint64_t rng_seed)
+    : sim_(sim), delay_(std::move(delay)), rng_(rng_seed),
+      handlers_(n_nodes, nullptr) {
+  if (!delay_) throw std::invalid_argument("Network: null delay model");
+  if (n_nodes == 0) throw std::invalid_argument("Network: zero nodes");
+}
+
+void Network::attach(NodeId node, MessageHandler* handler) {
+  if (!node.valid() || node.index() >= handlers_.size()) {
+    throw std::out_of_range("Network::attach: node id out of range");
+  }
+  if (!handler) throw std::invalid_argument("Network::attach: null handler");
+  handlers_[node.index()] = handler;
+}
+
+void Network::detach(NodeId node) {
+  if (!node.valid() || node.index() >= handlers_.size()) {
+    throw std::out_of_range("Network::detach: node id out of range");
+  }
+  handlers_[node.index()] = nullptr;
+}
+
+void Network::send(NodeId src, NodeId dst, PayloadPtr payload) {
+  if (!payload) throw std::invalid_argument("Network::send: null payload");
+  if (!dst.valid() || dst.index() >= handlers_.size()) {
+    throw std::out_of_range("Network::send: destination out of range");
+  }
+  Envelope env;
+  env.src = src;
+  env.dst = dst;
+  env.sent_at = sim_.now();
+  env.msg_id = next_msg_id_++;
+  env.payload = std::move(payload);
+
+  ++stats_.sent;
+  stats_.bytes_sent += env.payload->size_hint();
+  stats_.sent_by_type.increment(std::string(env.payload->type_name()));
+
+  const bool drop = faults_.should_drop(env, rng_);
+  if (tap_) tap_(env, drop);
+  if (drop) {
+    ++stats_.dropped;
+    return;
+  }
+
+  const sim::SimTime latency =
+      delay_->delay(src, dst, env.payload->size_hint(), rng_);
+  env.delivered_at = sim_.now() + latency;
+  sim_.schedule_after(latency,
+                      [this, env = std::move(env)]() mutable { deliver(std::move(env)); });
+}
+
+void Network::broadcast(NodeId src, const PayloadPtr& payload) {
+  for (std::size_t i = 0; i < handlers_.size(); ++i) {
+    const NodeId dst{static_cast<std::int32_t>(i)};
+    if (dst == src) continue;
+    send(src, dst, payload);
+  }
+}
+
+void Network::deliver(Envelope env) {
+  // Re-check fate at delivery time: the destination may have crashed while
+  // the message was in flight.
+  if (faults_.is_node_down(env.dst)) {
+    ++stats_.dropped;
+    return;
+  }
+  MessageHandler* h = handlers_[env.dst.index()];
+  if (h == nullptr) {
+    ++stats_.dropped;
+    return;
+  }
+  ++stats_.delivered;
+  h->on_message(env);
+}
+
+}  // namespace dmx::net

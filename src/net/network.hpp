@@ -1,0 +1,89 @@
+// Simulated message-passing network.
+//
+// A Network connects N attached MessageHandlers over a full mesh.  Sends are
+// asynchronous: the payload is enqueued as a simulator event that fires after
+// the DelayModel's latency and invokes the destination handler — unless the
+// FaultInjector drops it.  The network never reorders two messages between
+// the same (src, dst) pair under a constant delay model, but can under
+// jittered models, which is exactly the behaviour distributed algorithms must
+// tolerate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/delay_model.hpp"
+#include "net/fault_injector.hpp"
+#include "net/payload.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "stats/counter_map.hpp"
+
+namespace dmx::net {
+
+/// Aggregate traffic statistics.  "sent" counts message transmissions (a
+/// broadcast to N-1 destinations counts N-1), matching how the paper counts
+/// messages per critical-section invocation.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t bytes_sent = 0;  ///< Sum of payload size_hint()s.
+  stats::CounterMap sent_by_type;
+
+  void reset() {
+    sent = delivered = dropped = bytes_sent = 0;
+    sent_by_type.reset();
+  }
+};
+
+class Network {
+ public:
+  /// Observes every send (after fault adjudication; `dropped` tells the fate).
+  using Tap = std::function<void(const Envelope&, bool dropped)>;
+
+  Network(sim::Simulator& sim, std::size_t n_nodes,
+          std::unique_ptr<DelayModel> delay, std::uint64_t rng_seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return handlers_.size(); }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Attach the handler for a node id (must be in range, previously empty).
+  void attach(NodeId node, MessageHandler* handler);
+  void detach(NodeId node);
+
+  /// Send a payload from src to dst.  Counted even if dropped in flight
+  /// (it was "generated"); drops are also counted separately.
+  void send(NodeId src, NodeId dst, PayloadPtr payload);
+
+  /// Send to every attached node except src.  N-1 transmissions.
+  void broadcast(NodeId src, const PayloadPtr& payload);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  NetworkStats& mutable_stats() { return stats_; }
+
+  FaultInjector& faults() { return faults_; }
+  sim::Rng& rng() { return rng_; }
+
+  /// Install a tap observing all traffic (tests, message-trace tooling).
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+ private:
+  void deliver(Envelope env);
+
+  sim::Simulator& sim_;
+  std::unique_ptr<DelayModel> delay_;
+  sim::Rng rng_;
+  std::vector<MessageHandler*> handlers_;
+  FaultInjector faults_;
+  NetworkStats stats_;
+  Tap tap_;
+  std::uint64_t next_msg_id_ = 1;
+};
+
+}  // namespace dmx::net

@@ -1,0 +1,43 @@
+// Strongly typed node identifier.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace dmx::net {
+
+/// Identifies a node in the cluster.  Valid ids are 0..N-1; a default
+/// constructed NodeId is invalid (kInvalid).
+class NodeId {
+ public:
+  static constexpr std::int32_t kInvalid = -1;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::int32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::int32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, NodeId id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::int32_t value_ = kInvalid;
+};
+
+}  // namespace dmx::net
+
+template <>
+struct std::hash<dmx::net::NodeId> {
+  std::size_t operator()(dmx::net::NodeId id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};

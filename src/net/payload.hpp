@@ -1,0 +1,75 @@
+// Message payloads and envelopes.
+//
+// Payloads are immutable, polymorphic and reference-counted: broadcasting one
+// NEW-ARBITER message to N-1 nodes shares a single allocation.  Algorithms
+// identify messages via type_name() (also the key for per-type statistics)
+// and downcast with payload_cast<T>().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace dmx::net {
+
+/// Base class for all message payloads.  Subclasses should be immutable
+/// value bags.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Stable message-type name, e.g. "REQUEST" or "PRIVILEGE".  Used for
+  /// statistics keys and trace output.
+  [[nodiscard]] virtual std::string_view type_name() const = 0;
+
+  /// Human-readable content summary for traces; defaults to the type name.
+  [[nodiscard]] virtual std::string describe() const {
+    return std::string(type_name());
+  }
+
+  /// Approximate serialized size in abstract bytes.  Delay models may use it;
+  /// the paper's constant-delay model ignores it.
+  [[nodiscard]] virtual std::size_t size_hint() const { return 16; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Convenience factory: make_payload<Req>(args...) -> PayloadPtr.
+template <typename T, typename... Args>
+PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Typed view of a payload; nullptr if the payload is of a different type.
+template <typename T>
+const T* payload_cast(const PayloadPtr& p) {
+  return dynamic_cast<const T*>(p.get());
+}
+
+/// A payload in flight (or delivered) together with its routing metadata.
+struct Envelope {
+  NodeId src;
+  NodeId dst;
+  sim::SimTime sent_at;
+  sim::SimTime delivered_at;
+  std::uint64_t msg_id = 0;  ///< Unique per transmission (per destination).
+  PayloadPtr payload;
+
+  template <typename T>
+  [[nodiscard]] const T* as() const {
+    return payload_cast<T>(payload);
+  }
+};
+
+/// Interface for anything attached to the network that can receive messages.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void on_message(const Envelope& env) = 0;
+};
+
+}  // namespace dmx::net

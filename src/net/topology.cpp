@@ -1,0 +1,135 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace dmx::net {
+
+Topology::Topology(std::size_t n) : n_(n), adj_(n) {
+  if (n == 0) throw std::invalid_argument("Topology: zero nodes");
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  if (!a.valid() || !b.valid() || a.index() >= n_ || b.index() >= n_) {
+    throw std::out_of_range("Topology::add_edge: node out of range");
+  }
+  if (a == b) throw std::invalid_argument("Topology::add_edge: self loop");
+  if (!has_edge(a, b)) {
+    adj_[a.index()].push_back(b);
+    adj_[b.index()].push_back(a);
+  }
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const {
+  const auto& v = adj_[a.index()];
+  return std::find(v.begin(), v.end(), b) != v.end();
+}
+
+std::vector<std::size_t> Topology::hops_from(NodeId src) const {
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(n_, kInf);
+  std::deque<NodeId> queue{src};
+  dist[src.index()] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : adj_[u.index()]) {
+      if (dist[v.index()] == kInf) {
+        dist[v.index()] = dist[u.index()] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Topology::connected() const {
+  const auto d = hops_from(NodeId{0});
+  return std::none_of(d.begin(), d.end(), [](std::size_t x) {
+    return x == std::numeric_limits<std::size_t>::max();
+  });
+}
+
+std::size_t Topology::diameter() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto d = hops_from(NodeId{static_cast<std::int32_t>(i)});
+    for (std::size_t x : d) {
+      if (x != std::numeric_limits<std::size_t>::max()) {
+        best = std::max(best, x);
+      }
+    }
+  }
+  return best;
+}
+
+Topology Topology::ring(std::size_t n) {
+  Topology t(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(NodeId{static_cast<std::int32_t>(i)},
+               NodeId{static_cast<std::int32_t>(i + 1)});
+  }
+  if (n > 2) t.add_edge(NodeId{static_cast<std::int32_t>(n - 1)}, NodeId{0});
+  return t;
+}
+
+Topology Topology::star(std::size_t n) {
+  Topology t(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    t.add_edge(NodeId{0}, NodeId{static_cast<std::int32_t>(i)});
+  }
+  return t;
+}
+
+Topology Topology::line(std::size_t n) {
+  Topology t(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(NodeId{static_cast<std::int32_t>(i)},
+               NodeId{static_cast<std::int32_t>(i + 1)});
+  }
+  return t;
+}
+
+Topology Topology::full_mesh(std::size_t n) {
+  Topology t(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      t.add_edge(NodeId{static_cast<std::int32_t>(i)},
+                 NodeId{static_cast<std::int32_t>(j)});
+    }
+  }
+  return t;
+}
+
+Topology Topology::binary_tree(std::size_t n) {
+  Topology t(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    t.add_edge(NodeId{static_cast<std::int32_t>(i)},
+               NodeId{static_cast<std::int32_t>((i - 1) / 2)});
+  }
+  return t;
+}
+
+HopDelay::HopDelay(Topology topology, sim::SimTime per_hop)
+    : topo_(std::move(topology)), per_hop_(per_hop) {
+  if (!topo_.connected()) {
+    throw std::invalid_argument("HopDelay: topology must be connected");
+  }
+  hops_.reserve(topo_.size());
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    hops_.push_back(topo_.hops_from(NodeId{static_cast<std::int32_t>(i)}));
+  }
+}
+
+sim::SimTime HopDelay::delay(NodeId src, NodeId dst, std::size_t, sim::Rng&) {
+  if (!src.valid() || !dst.valid() || src.index() >= topo_.size() ||
+      dst.index() >= topo_.size()) {
+    throw std::out_of_range("HopDelay: node out of range");
+  }
+  if (src == dst) return sim::SimTime::ticks(1);
+  return per_hop_ * static_cast<std::int64_t>(hops_[src.index()][dst.index()]);
+}
+
+}  // namespace dmx::net

@@ -1,0 +1,64 @@
+// Multi-hop network topologies.
+//
+// The paper makes "no assumptions ... with respect to the network
+// topology": messages between any pair are simply delayed.  To study the
+// algorithms on structured networks (the setting of Raymond's tree or
+// Chaudhuri's mesh work the paper cites), HopDelay derives per-pair
+// latencies from shortest-path hop counts over an explicit graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/delay_model.hpp"
+#include "net/node_id.hpp"
+
+namespace dmx::net {
+
+/// Undirected graph over nodes 0..N-1.
+class Topology {
+ public:
+  explicit Topology(std::size_t n);
+
+  void add_edge(NodeId a, NodeId b);
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// True if every node can reach every other.
+  [[nodiscard]] bool connected() const;
+
+  /// Shortest-path hop counts from `src` (BFS); unreachable = SIZE_MAX.
+  [[nodiscard]] std::vector<std::size_t> hops_from(NodeId src) const;
+
+  /// Maximum shortest-path distance over all pairs.
+  [[nodiscard]] std::size_t diameter() const;
+
+  // Canned shapes.
+  static Topology ring(std::size_t n);
+  static Topology star(std::size_t n);        ///< Node 0 is the hub.
+  static Topology line(std::size_t n);
+  static Topology full_mesh(std::size_t n);
+  static Topology binary_tree(std::size_t n); ///< parent(i) = (i-1)/2.
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+/// Delay = per_hop * hop_distance(src, dst) over the given topology.
+class HopDelay final : public DelayModel {
+ public:
+  HopDelay(Topology topology, sim::SimTime per_hop);
+
+  sim::SimTime delay(NodeId src, NodeId dst, std::size_t size_hint,
+                     sim::Rng& rng) override;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+ private:
+  Topology topo_;
+  sim::SimTime per_hop_;
+  std::vector<std::vector<std::size_t>> hops_;  // precomputed all-pairs
+};
+
+}  // namespace dmx::net

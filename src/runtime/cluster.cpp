@@ -1,0 +1,57 @@
+#include "runtime/cluster.hpp"
+
+namespace dmx::runtime {
+
+Cluster::Cluster(std::size_t n_nodes, std::unique_ptr<net::DelayModel> delay,
+                 std::uint64_t seed, trace::Tracer tracer)
+    : owned_sim_(std::make_unique<sim::Simulator>()), sim_(owned_sim_.get()),
+      net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
+                                          seed)),
+      tracer_(std::move(tracer)), processes_(n_nodes) {}
+
+Cluster::Cluster(sim::Simulator& shared_sim, std::size_t n_nodes,
+                 std::unique_ptr<net::DelayModel> delay, std::uint64_t seed,
+                 trace::Tracer tracer)
+    : sim_(&shared_sim),
+      net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
+                                          seed)),
+      tracer_(std::move(tracer)), processes_(n_nodes) {}
+
+Process* Cluster::install(net::NodeId id, std::unique_ptr<Process> process) {
+  if (!id.valid() || id.index() >= processes_.size()) {
+    throw std::out_of_range("Cluster::install: node id out of range");
+  }
+  if (!process) throw std::invalid_argument("Cluster::install: null process");
+  if (processes_[id.index()] != nullptr) {
+    throw std::logic_error("Cluster::install: slot already filled");
+  }
+  process->bind(this, net_.get(), id, tracer_);
+  net_->attach(id, process.get());
+  processes_[id.index()] = std::move(process);
+  return processes_[id.index()].get();
+}
+
+Process* Cluster::process(net::NodeId id) const {
+  if (!id.valid() || id.index() >= processes_.size()) {
+    throw std::out_of_range("Cluster::process: node id out of range");
+  }
+  return processes_[id.index()].get();
+}
+
+void Cluster::start() {
+  if (started_) throw std::logic_error("Cluster::start: already started");
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i] == nullptr) {
+      throw std::logic_error("Cluster::start: node slot " + std::to_string(i) +
+                             " is empty");
+    }
+  }
+  started_ = true;
+  for (auto& p : processes_) p->start();
+}
+
+void Cluster::crash_node(net::NodeId id) { process(id)->crash(); }
+
+void Cluster::restart_node(net::NodeId id) { process(id)->restart(); }
+
+}  // namespace dmx::runtime

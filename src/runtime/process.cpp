@@ -1,0 +1,87 @@
+#include "runtime/process.hpp"
+
+#include <utility>
+
+#include "runtime/cluster.hpp"
+
+namespace dmx::runtime {
+
+Process::~Process() {
+  // Timers hold a copy of `this` in their callbacks; the Cluster owns both
+  // the simulator and the processes and destroys processes first, so cancel
+  // everything to prevent dangling callbacks if the simulator kept running.
+  if (net_ != nullptr) cancel_all_timers();
+}
+
+void Process::bind(Cluster* cluster, net::Network* net, net::NodeId id,
+                   trace::Tracer tracer) {
+  cluster_ = cluster;
+  net_ = net;
+  id_ = id;
+  tracer_ = std::move(tracer);
+}
+
+sim::Simulator& Process::simulator() const { return net_->simulator(); }
+
+sim::SimTime Process::now() const { return net_->simulator().now(); }
+
+void Process::start() {
+  if (net_ == nullptr) {
+    throw std::logic_error("Process::start: not bound to a cluster");
+  }
+  on_start();
+}
+
+void Process::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  cancel_all_timers();
+  net_->faults().set_node_down(id_, true);
+  trace("lifecycle", "crashed");
+  on_crash();
+}
+
+void Process::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  net_->faults().set_node_down(id_, false);
+  trace("lifecycle", "restarted");
+  on_restart();
+}
+
+TimerId Process::set_timer(sim::SimTime delay, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("Process::set_timer: empty callback");
+  const std::uint64_t tid = next_timer_id_++;
+  sim::EventId ev = simulator().schedule_after(
+      delay, [this, tid, fn = std::move(fn)]() {
+        timers_.erase(tid);
+        if (!crashed_) fn();
+      });
+  timers_.emplace(tid, ev);
+  return TimerId(tid);
+}
+
+void Process::cancel_timer(TimerId& timer) {
+  if (!timer.valid()) return;
+  auto it = timers_.find(timer.id_);
+  if (it != timers_.end()) {
+    simulator().cancel(it->second);
+    timers_.erase(it);
+  }
+  timer = TimerId{};
+}
+
+bool Process::timer_pending(TimerId timer) const {
+  return timer.valid() && timers_.contains(timer.id_);
+}
+
+void Process::cancel_all_timers() {
+  for (auto& [tid, ev] : timers_) simulator().cancel(ev);
+  timers_.clear();
+}
+
+void Process::trace(std::string category, std::string detail) const {
+  tracer_.emit(now(), id_.value(), std::move(category), std::move(detail));
+}
+
+}  // namespace dmx::runtime

@@ -1,0 +1,105 @@
+// Actor-style process base class.
+//
+// A Process is one node's protocol state machine: it receives messages from
+// the network, sets timers on the simulation clock, and sends/broadcasts
+// messages.  Crash semantics are fail-silent (Section 6 of the paper): a
+// crashed process receives nothing, all its pending timers are suppressed,
+// and the network drops traffic addressed to it until restart.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "net/payload.hpp"
+#include "sim/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace dmx::runtime {
+
+class Cluster;
+
+/// Handle for a process-owned timer.
+class TimerId {
+ public:
+  constexpr TimerId() = default;
+  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+  friend constexpr bool operator==(TimerId, TimerId) = default;
+
+ private:
+  friend class Process;
+  constexpr explicit TimerId(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Process : public net::MessageHandler {
+ public:
+  ~Process() override;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Network entry point; filters messages while crashed.
+  void on_message(const net::Envelope& env) final {
+    if (crashed_) return;
+    handle(env);
+  }
+
+  /// Lifecycle, driven by the Cluster.
+  void start();
+  void crash();
+  void restart();
+
+ protected:
+  Process() = default;
+
+  /// Subclass hooks.
+  virtual void handle(const net::Envelope& env) = 0;
+  virtual void on_start() {}
+  virtual void on_crash() {}
+  virtual void on_restart() {}
+
+  [[nodiscard]] sim::Simulator& simulator() const;
+  [[nodiscard]] net::Network& network() const { return *net_; }
+  [[nodiscard]] sim::SimTime now() const;
+
+  void send(net::NodeId dst, net::PayloadPtr payload) const {
+    net_->send(id_, dst, std::move(payload));
+  }
+  void broadcast(const net::PayloadPtr& payload) const {
+    net_->broadcast(id_, payload);
+  }
+
+  /// Schedule a callback `delay` from now.  Fires only if the process is
+  /// still alive; automatically deregistered after firing.
+  TimerId set_timer(sim::SimTime delay, std::function<void()> fn);
+
+  /// Cancel a timer if still pending; resets the handle.
+  void cancel_timer(TimerId& timer);
+  [[nodiscard]] bool timer_pending(TimerId timer) const;
+
+  /// Cancel every pending timer (also done automatically on crash).
+  void cancel_all_timers();
+
+  void trace(std::string category, std::string detail) const;
+
+ private:
+  friend class Cluster;
+  void bind(Cluster* cluster, net::Network* net, net::NodeId id,
+            trace::Tracer tracer);
+
+  Cluster* cluster_ = nullptr;
+  net::Network* net_ = nullptr;
+  net::NodeId id_;
+  trace::Tracer tracer_;
+  bool crashed_ = false;
+  std::uint64_t next_timer_id_ = 1;
+  std::unordered_map<std::uint64_t, sim::EventId> timers_;
+};
+
+}  // namespace dmx::runtime

@@ -1,0 +1,29 @@
+#include "sim/rng.hpp"
+
+#include <numeric>
+
+namespace dmx::sim {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("Rng::weighted_index: empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("Rng::weighted_index: negative weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Rng::weighted_index: zero total weight");
+  }
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: land on the last bucket
+}
+
+}  // namespace dmx::sim

@@ -1,0 +1,58 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace dmx::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) {
+    throw std::logic_error("Simulator::schedule_at: time is in the past");
+  }
+  if (!fn) {
+    throw std::invalid_argument("Simulator::schedule_at: empty callback");
+  }
+  const std::uint64_t id = next_id_++;
+  heap_.push(HeapEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventId(id);
+}
+
+bool Simulator::cancel(EventId id) {
+  return callbacks_.erase(id.id_) > 0;  // heap entry skipped lazily on pop
+}
+
+bool Simulator::skip_cancelled() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+  return !heap_.empty();
+}
+
+bool Simulator::step() {
+  if (!skip_cancelled()) return false;
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = top.time;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  stopped_ = false;
+  while (!stopped_ && skip_cancelled() && heap_.top().time <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace dmx::sim

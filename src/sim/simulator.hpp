@@ -1,0 +1,114 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and a priority queue of scheduled events.
+// Events at equal times fire in scheduling order (FIFO tie-breaking via a
+// monotonically increasing sequence number), which makes runs deterministic.
+// Cancellation is O(1) amortized via lazy deletion: cancelled event ids are
+// removed from the callback map and skipped when popped from the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dmx::sim {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class Simulator;
+  constexpr explicit EventId(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Single-threaded discrete-event simulator.
+///
+/// Usage:
+///   Simulator sim;
+///   sim.schedule_after(SimTime::units(1.0), [] { ... });
+///   sim.run();
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` to run `delay` after now() (delay must be >= 0).
+  EventId schedule_after(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event.  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// True if the given event is still pending (scheduled and not yet fired).
+  [[nodiscard]] bool pending(EventId id) const {
+    return callbacks_.contains(id.id_);
+  }
+
+  /// Run the next pending event, if any.  Returns false when the queue is
+  /// empty (after draining any cancelled entries).
+  bool step();
+
+  /// Run until the event queue is empty or stop() is called.
+  void run();
+
+  /// Run events with time <= t, then advance the clock to exactly t.
+  void run_until(SimTime t);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return events_executed_;
+  }
+
+  /// Number of events currently pending (excludes cancelled ones).
+  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Min-heap: std::priority_queue is a max-heap, so invert the comparison.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries; returns false when the heap is effectively empty.
+  bool skip_cancelled();
+
+  SimTime now_ = SimTime::zero();
+  bool stopped_ = false;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<HeapEntry> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace dmx::sim

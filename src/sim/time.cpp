@@ -1,0 +1,14 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dmx::sim {
+
+std::string SimTime::to_string() const {
+  std::array<char, 48> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%.6f", to_units());
+  return std::string(buf.data(), n > 0 ? static_cast<std::size_t>(n) : 0u);
+}
+
+}  // namespace dmx::sim

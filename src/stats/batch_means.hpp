@@ -1,0 +1,61 @@
+// Batch-means estimator for steady-state simulation output analysis.
+//
+// Per-CS samples within one simulation run are autocorrelated (consecutive
+// critical sections share queue state), so the naive per-sample CI is too
+// narrow.  The classical remedy is the method of batch means: split the run
+// into `k` contiguous batches, treat batch averages as (approximately)
+// independent samples, and compute the CI across batch means.
+#pragma once
+
+#include <cstddef>
+
+#include "stats/confidence.hpp"
+#include "stats/welford.hpp"
+
+namespace dmx::stats {
+
+/// Accumulates a sample stream into fixed-size batches and exposes a CI over
+/// the batch means.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+    if (batch_size == 0) {
+      throw std::invalid_argument("BatchMeans: batch_size must be > 0");
+    }
+  }
+
+  void add(double x) {
+    current_.add(x);
+    overall_.add(x);
+    if (current_.count() >= batch_size_) {
+      batch_means_.add(current_.mean());
+      current_.reset();
+    }
+  }
+
+  /// Mean over all samples (including an unfinished trailing batch).
+  [[nodiscard]] double mean() const { return overall_.mean(); }
+  [[nodiscard]] std::uint64_t count() const { return overall_.count(); }
+  [[nodiscard]] std::uint64_t complete_batches() const {
+    return batch_means_.count();
+  }
+
+  /// 95% CI computed across completed batch means.  Falls back to the
+  /// per-sample CI when fewer than two batches completed.
+  [[nodiscard]] MeanCi ci() const {
+    if (batch_means_.count() >= 2) {
+      MeanCi ci = mean_ci_95(batch_means_);
+      ci.mean = overall_.mean();  // best point estimate uses all samples
+      return ci;
+    }
+    return mean_ci_95(overall_);
+  }
+
+ private:
+  std::size_t batch_size_;
+  Welford current_;
+  Welford batch_means_;
+  Welford overall_;
+};
+
+}  // namespace dmx::stats

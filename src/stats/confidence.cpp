@@ -1,0 +1,38 @@
+#include "stats/confidence.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dmx::stats {
+
+double t_critical_95(std::uint64_t degrees_of_freedom) {
+  // Two-sided 95% critical values for df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (degrees_of_freedom == 0) return 0.0;
+  if (degrees_of_freedom <= kTable.size()) {
+    return kTable[degrees_of_freedom - 1];
+  }
+  return 1.960;
+}
+
+MeanCi mean_ci_95(const Welford& w) {
+  MeanCi ci;
+  ci.mean = w.mean();
+  ci.count = w.count();
+  if (w.count() > 1) {
+    ci.half_width = t_critical_95(w.count() - 1) * w.std_error();
+  }
+  return ci;
+}
+
+std::string MeanCi::to_string(int precision) const {
+  std::array<char, 96> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%.*f \xC2\xB1 %.*f",
+                              precision, mean, precision, half_width);
+  return std::string(buf.data(), n > 0 ? static_cast<std::size_t>(n) : 0u);
+}
+
+}  // namespace dmx::stats

@@ -1,0 +1,42 @@
+// Confidence intervals for sample means.
+//
+// The paper plots 95% confidence intervals on every simulated point; we
+// replicate that.  For the small replication counts used by multi-seed runs
+// we use Student's t critical values; beyond the table we fall back to the
+// normal approximation (1.96 for 95%).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stats/welford.hpp"
+
+namespace dmx::stats {
+
+/// Two-sided critical value of Student's t distribution at 95% confidence for
+/// the given degrees of freedom.  Exact table through df=30, then normal
+/// approximation.
+[[nodiscard]] double t_critical_95(std::uint64_t degrees_of_freedom);
+
+/// A mean together with its 95% confidence half-width.
+struct MeanCi {
+  double mean = 0.0;
+  double half_width = 0.0;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+
+  /// True if `value` lies inside the interval.
+  [[nodiscard]] bool contains(double value) const {
+    return value >= lo() && value <= hi();
+  }
+
+  /// "m ± h" with the given precision, for table output.
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+};
+
+/// 95% confidence interval on the mean of the accumulated samples.
+[[nodiscard]] MeanCi mean_ci_95(const Welford& w);
+
+}  // namespace dmx::stats

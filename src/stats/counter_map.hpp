@@ -1,0 +1,42 @@
+// Named counters, used for per-message-type statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dmx::stats {
+
+/// Ordered map of name -> count.  Ordered so table output is stable.
+class CounterMap {
+ public:
+  void increment(const std::string& key, std::uint64_t by = 1) {
+    counts_[key] += by;
+  }
+
+  [[nodiscard]] std::uint64_t get(const std::string& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [k, v] : counts_) t += v;
+    return t;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& entries() const {
+    return counts_;
+  }
+
+  void merge(const CounterMap& other) {
+    for (const auto& [k, v] : other.counts_) counts_[k] += v;
+  }
+
+  void reset() { counts_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace dmx::stats

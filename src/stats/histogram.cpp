@@ -1,0 +1,71 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dmx::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= bins_.size()) idx = bins_.size() - 1;  // float edge at hi
+  ++bins_[idx];
+}
+
+double Histogram::quantile(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: p outside [0,1]");
+  }
+  if (count_ == 0) return lo_;
+  const double target = p * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (target <= next && bins_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::uint64_t peak = 1;
+  for (auto b : bins_) peak = std::max(peak, b);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double b_lo = lo_ + static_cast<double>(i) * width_;
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_bar));
+    const int n = std::snprintf(line, sizeof line, "[%8.3f, %8.3f) %8llu ",
+                                b_lo, b_lo + width_,
+                                static_cast<unsigned long long>(bins_[i]));
+    out.append(line, n > 0 ? static_cast<std::size_t>(n) : 0u);
+    out.append(bar_len, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dmx::stats

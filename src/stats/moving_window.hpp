@@ -1,0 +1,59 @@
+// Fixed-capacity moving-window average.
+//
+// The starvation-free variant of the paper's algorithm (Section 4.1) has
+// every node track "the average size of the Q-list within a moving window"
+// observed from NEW-ARBITER messages; the arbiter routes the token to the
+// monitor node when its NEW-ARBITER counter reaches the ceiling of that
+// average.  This class is that window.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace dmx::stats {
+
+/// Ring buffer keeping the last `capacity` samples with O(1) mean updates.
+class MovingWindow {
+ public:
+  explicit MovingWindow(std::size_t capacity) : buf_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("MovingWindow: capacity must be > 0");
+    }
+  }
+
+  void add(double x) {
+    if (size_ == buf_.size()) {
+      sum_ -= buf_[head_];
+      buf_[head_] = x;
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      buf_[(head_ + size_) % buf_.size()] = x;
+      ++size_;
+    }
+    sum_ += x;
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Mean of the samples currently in the window; `fallback` when empty.
+  [[nodiscard]] double mean(double fallback = 0.0) const {
+    return size_ > 0 ? sum_ / static_cast<double>(size_) : fallback;
+  }
+
+  void reset() {
+    size_ = 0;
+    head_ = 0;
+    sum_ = 0.0;
+  }
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace dmx::stats

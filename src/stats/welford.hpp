@@ -1,0 +1,74 @@
+// Numerically stable running mean/variance (Welford's online algorithm).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace dmx::stats {
+
+/// Online accumulator for count, mean, variance, min and max of a stream of
+/// doubles.  O(1) space, numerically stable for long runs (the paper's
+/// simulations process 10^6 samples per point).
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator into this one (parallel-combinable).
+  void merge(const Welford& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n_total = na + nb;
+    mean_ += delta * nb / n_total;
+    m2_ += other.m2_ + delta * delta * na * nb / n_total;
+    n_ += other.n_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double std_error() const {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+  [[nodiscard]] double min() const {
+    return n_ > 0 ? min_ : 0.0;
+  }
+  [[nodiscard]] double max() const {
+    return n_ > 0 ? max_ : 0.0;
+  }
+
+  void reset() { *this = Welford{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace dmx::stats

@@ -1,0 +1,34 @@
+#include "trace/trace.hpp"
+
+#include <iomanip>
+
+namespace dmx::trace {
+
+void OstreamSink::write(const Record& r) {
+  os_ << "[" << std::setw(10) << r.time.to_string() << "] ";
+  if (r.node >= 0) {
+    os_ << "node " << std::setw(2) << r.node << " ";
+  } else {
+    os_ << "system  ";
+  }
+  os_ << std::setw(10) << std::left << r.category << std::right << " "
+      << r.detail << "\n";
+}
+
+std::vector<Record> MemorySink::by_category(const std::string& cat) const {
+  std::vector<Record> out;
+  for (const auto& r : records_) {
+    if (r.category == cat) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t MemorySink::count_containing(const std::string& needle) const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.detail.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace dmx::trace

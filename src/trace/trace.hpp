@@ -1,0 +1,83 @@
+// Structured simulation tracing.
+//
+// Algorithms emit trace records ("node 5 became arbiter", "token sent to 2")
+// through a Tracer.  Sinks decide what happens to them: printed (examples),
+// captured in memory (tests asserting on protocol behaviour), or dropped
+// (benchmarks, where tracing is disabled entirely and costs one branch).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dmx::trace {
+
+/// One trace record.
+struct Record {
+  sim::SimTime time;
+  std::int32_t node = -1;   ///< Emitting node, -1 for system-level records.
+  std::string category;     ///< e.g. "arbiter", "token", "cs", "recovery".
+  std::string detail;       ///< Human-readable description.
+};
+
+/// Receives records.  Implementations must tolerate high record rates.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void write(const Record& r) = 0;
+};
+
+/// Prints each record as "[time] nodeN category: detail".
+class OstreamSink final : public Sink {
+ public:
+  explicit OstreamSink(std::ostream& os) : os_(os) {}
+  void write(const Record& r) override;
+
+ private:
+  std::ostream& os_;  // NOLINT: non-owning by design
+};
+
+/// Buffers records for later inspection (used heavily by protocol tests).
+class MemorySink final : public Sink {
+ public:
+  void write(const Record& r) override { records_.push_back(r); }
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+  /// Records whose category matches exactly.
+  [[nodiscard]] std::vector<Record> by_category(const std::string& cat) const;
+
+  /// Count of records whose detail contains `needle`.
+  [[nodiscard]] std::size_t count_containing(const std::string& needle) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Front-end handed to algorithms.  Disabled tracers drop records with a
+/// single branch and no allocation.
+class Tracer {
+ public:
+  Tracer() = default;  // disabled
+
+  explicit Tracer(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+
+  void emit(sim::SimTime time, std::int32_t node, std::string category,
+            std::string detail) const {
+    if (!sink_) return;
+    sink_->write(Record{time, node, std::move(category), std::move(detail)});
+  }
+
+ private:
+  std::shared_ptr<Sink> sink_;
+};
+
+}  // namespace dmx::trace

@@ -1,0 +1,94 @@
+// Arrival processes for critical-section demand.
+//
+// The paper's simulation drives each node with a Poisson process of rate
+// lambda requests/second ("each of the nodes generated requests using a
+// Poisson probability distribution with the same arrival rate").  We provide
+// that plus deterministic, uniform and bursty (two-state on/off) processes
+// for robustness studies.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace dmx::workload {
+
+/// Generates successive interarrival gaps.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  [[nodiscard]] virtual sim::SimTime next_gap(sim::Rng& rng) = 0;
+  /// Long-run arrival rate in requests per time unit (for reporting).
+  [[nodiscard]] virtual double mean_rate() const = 0;
+};
+
+/// Poisson arrivals: exponential interarrival gaps with the given rate.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double rate) : rate_(rate) {
+    if (rate <= 0.0) throw std::invalid_argument("PoissonArrivals: rate <= 0");
+  }
+  sim::SimTime next_gap(sim::Rng& rng) override {
+    return sim::SimTime::units(rng.exponential(rate_));
+  }
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Fixed-interval arrivals.
+class DeterministicArrivals final : public ArrivalProcess {
+ public:
+  explicit DeterministicArrivals(sim::SimTime interval) : interval_(interval) {
+    if (interval <= sim::SimTime::zero()) {
+      throw std::invalid_argument("DeterministicArrivals: interval <= 0");
+    }
+  }
+  sim::SimTime next_gap(sim::Rng&) override { return interval_; }
+  [[nodiscard]] double mean_rate() const override {
+    return 1.0 / interval_.to_units();
+  }
+
+ private:
+  sim::SimTime interval_;
+};
+
+/// Interarrival gaps uniform in [lo, hi).
+class UniformArrivals final : public ArrivalProcess {
+ public:
+  UniformArrivals(sim::SimTime lo, sim::SimTime hi) : lo_(lo), hi_(hi) {
+    if (lo <= sim::SimTime::zero() || hi <= lo) {
+      throw std::invalid_argument("UniformArrivals: need 0 < lo < hi");
+    }
+  }
+  sim::SimTime next_gap(sim::Rng& rng) override {
+    return rng.uniform_time(lo_, hi_);
+  }
+  [[nodiscard]] double mean_rate() const override {
+    return 2.0 / (lo_.to_units() + hi_.to_units());
+  }
+
+ private:
+  sim::SimTime lo_;
+  sim::SimTime hi_;
+};
+
+/// Two-state Markov-modulated on/off arrivals: Poisson at `on_rate` during
+/// exponentially distributed ON periods, silent during OFF periods.
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(double on_rate, sim::SimTime mean_on, sim::SimTime mean_off);
+  sim::SimTime next_gap(sim::Rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+
+ private:
+  double on_rate_;
+  sim::SimTime mean_on_;
+  sim::SimTime mean_off_;
+  sim::SimTime remaining_on_ = sim::SimTime::zero();
+};
+
+}  // namespace dmx::workload

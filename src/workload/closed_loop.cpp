@@ -1,0 +1,50 @@
+#include "workload/closed_loop.hpp"
+
+#include <stdexcept>
+
+namespace dmx::workload {
+
+ClosedLoopGenerator::ClosedLoopGenerator(
+    sim::Simulator& sim, std::vector<mutex::CsDriver*> drivers,
+    std::vector<std::unique_ptr<ArrivalProcess>> think,
+    std::uint64_t total_requests, std::uint64_t seed)
+    : sim_(sim), drivers_(std::move(drivers)), think_(std::move(think)),
+      stopped_(drivers_.size(), false), total_requests_(total_requests) {
+  if (drivers_.size() != think_.size()) {
+    throw std::invalid_argument("ClosedLoopGenerator: size mismatch");
+  }
+  sim::Rng root(seed);
+  for (std::size_t i = 0; i < drivers_.size(); ++i) {
+    if (drivers_[i] == nullptr || think_[i] == nullptr) {
+      throw std::invalid_argument("ClosedLoopGenerator: null entry");
+    }
+    rngs_.push_back(root.fork());
+    // Resubmission loop: the next think period starts when a CS completes.
+    const std::size_t node = i;
+    drivers_[i]->set_completion_callback(
+        [this, node](const mutex::CsRequest&) { think_then_submit(node); });
+  }
+}
+
+void ClosedLoopGenerator::start() {
+  for (std::size_t i = 0; i < drivers_.size(); ++i) think_then_submit(i);
+}
+
+void ClosedLoopGenerator::stop_node(std::size_t node) {
+  if (node >= stopped_.size()) {
+    throw std::out_of_range("ClosedLoopGenerator::stop_node");
+  }
+  stopped_[node] = true;
+}
+
+void ClosedLoopGenerator::think_then_submit(std::size_t node) {
+  if (submitted_ >= total_requests_ || stopped_[node]) return;
+  const sim::SimTime gap = think_[node]->next_gap(rngs_[node]);
+  sim_.schedule_after(gap, [this, node] {
+    if (submitted_ >= total_requests_ || stopped_[node]) return;
+    ++submitted_;
+    drivers_[node]->submit();
+  });
+}
+
+}  // namespace dmx::workload

@@ -1,0 +1,118 @@
+// Tests for the closed-form models (analysis/) and the experiment harness
+// plumbing (replication, CSV/table output, validation).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/models.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace dmx {
+namespace {
+
+TEST(AnalyticModels, PaperEquationValues) {
+  // Eq. (1): N=10 -> (100-1)/10 = 9.9.
+  EXPECT_DOUBLE_EQ(analysis::arbiter_messages_light(10), 9.9);
+  // Eq. (4): N=10 -> 3 - 0.2 = 2.8.
+  EXPECT_DOUBLE_EQ(analysis::arbiter_messages_heavy(10), 2.8);
+  // Large-N limits (Eq. 2 and Eq. 5).
+  EXPECT_NEAR(analysis::arbiter_messages_light(1000), 1000.0, 0.01);
+  EXPECT_NEAR(analysis::arbiter_messages_heavy(1000), 3.0, 0.01);
+
+  const analysis::Timing t{0.1, 0.1, 0.1};
+  // Eq. (3): 0.9*0.2 + 0.1 + 0.1 = 0.38.
+  EXPECT_NEAR(analysis::arbiter_service_light(10, t), 0.38, 1e-12);
+  // Eq. (6): 0.9*0.1 + 0.1 + 6*0.2 = 1.39.
+  EXPECT_NEAR(analysis::arbiter_service_heavy(10, t), 1.39, 1e-12);
+}
+
+TEST(AnalyticModels, BaselineValues) {
+  EXPECT_DOUBLE_EQ(analysis::ricart_agrawala_messages(10), 18.0);
+  EXPECT_DOUBLE_EQ(analysis::lamport_messages(10), 27.0);
+  EXPECT_DOUBLE_EQ(analysis::suzuki_kasami_messages(10), 10.0);
+  EXPECT_DOUBLE_EQ(analysis::centralized_messages(), 3.0);
+  EXPECT_DOUBLE_EQ(analysis::raymond_messages_heavy(), 4.0);
+  EXPECT_NEAR(analysis::raymond_messages_light(16), 8.0, 1e-12);
+  EXPECT_NEAR(analysis::maekawa_messages_low(16), 12.0, 1e-12);
+  EXPECT_NEAR(analysis::maekawa_messages_high(16), 20.0, 1e-12);
+}
+
+TEST(Harness, ReplicationProducesIndependentSeeds) {
+  harness::ExperimentConfig cfg;
+  cfg.n_nodes = 5;
+  cfg.lambda = 0.5;
+  cfg.total_requests = 1'000;
+  cfg.seed = 42;
+  const auto runs = harness::run_replicated(cfg, 3);
+  ASSERT_EQ(runs.size(), 3u);
+  for (const auto& r : runs) {
+    EXPECT_TRUE(r.drained);
+    EXPECT_EQ(r.safety_violations, 0u);
+  }
+  // Different seeds should give (slightly) different trajectories.
+  EXPECT_NE(runs[0].sim_events, runs[1].sim_events);
+}
+
+TEST(Harness, ValidatesConfig) {
+  harness::ExperimentConfig cfg;
+  cfg.n_nodes = 0;
+  EXPECT_THROW((void)harness::run_experiment(cfg), std::invalid_argument);
+  cfg.n_nodes = 3;
+  cfg.lambda = 0.0;
+  EXPECT_THROW((void)harness::run_experiment(cfg), std::invalid_argument);
+  cfg.lambda = 1.0;
+  cfg.algorithm = "not-an-algorithm";
+  EXPECT_THROW((void)harness::run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Harness, ResultAccountingConsistent) {
+  harness::ExperimentConfig cfg;
+  cfg.n_nodes = 6;
+  cfg.lambda = 0.8;
+  cfg.total_requests = 2'000;
+  cfg.seed = 17;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.submitted, cfg.total_requests);
+  std::uint64_t per_node = 0;
+  for (auto c : r.completions_per_node) per_node += c;
+  EXPECT_EQ(per_node, r.completed);
+  std::uint64_t by_type = 0;
+  for (const auto& [k, v] : r.messages_by_type) by_type += v;
+  EXPECT_EQ(by_type, r.messages_total);
+  EXPECT_EQ(r.response_time.count(), r.completed);
+  EXPECT_GE(r.service_time.mean(), r.response_time.mean());
+  EXPECT_GE(r.sojourn_time.mean(), r.service_time.mean() - 1e-9);
+}
+
+TEST(Table, AlignedOutput) {
+  harness::Table t({"lambda", "msgs/cs"});
+  t.add_row({"0.1", "9.90"});
+  t.add_row({"10", "2.80"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("lambda"), std::string::npos);
+  EXPECT_NE(s.find("9.90"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, CsvOutput) {
+  harness::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Validation) {
+  harness::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(harness::Table({}), std::invalid_argument);
+  EXPECT_EQ(harness::Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(harness::Table::integer(42), "42");
+}
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,107 @@
+// Tests for the calendar-queue pending-event set, including an equivalence
+// check against std::priority_queue over random workloads.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace dmx::sim {
+namespace {
+
+TEST(CalendarQueue, EmptyAndBasicOrder) {
+  CalendarQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push({SimTime::units(3.0), 1, 10});
+  q.push({SimTime::units(1.0), 2, 11});
+  q.push({SimTime::units(2.0), 3, 12});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().id, 11u);
+  EXPECT_EQ(q.pop().id, 12u);
+  EXPECT_EQ(q.pop().id, 10u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, FifoTieBreakOnEqualTimes) {
+  CalendarQueue q;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    q.push({SimTime::units(1.0), s, 100 + s});
+  }
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    EXPECT_EQ(q.pop().seq, s);
+  }
+}
+
+TEST(CalendarQueue, TopDoesNotRemove) {
+  CalendarQueue q;
+  q.push({SimTime::units(5.0), 1, 7});
+  EXPECT_EQ(q.top().id, 7u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().id, 7u);
+}
+
+TEST(CalendarQueue, Validation) {
+  EXPECT_THROW(CalendarQueue(SimTime::zero()), std::invalid_argument);
+  EXPECT_THROW(CalendarQueue(SimTime::units(0.1), 0), std::invalid_argument);
+  CalendarQueue q;
+  EXPECT_THROW(q.push({SimTime::units(-1.0), 0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)q.pop(), std::logic_error);
+}
+
+TEST(CalendarQueue, ResizesThroughGrowthAndShrink) {
+  CalendarQueue q(SimTime::units(0.1), 16);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    q.push({SimTime::units(static_cast<double>(i % 977) * 0.01), i, i});
+  }
+  SimTime last = SimTime::zero();
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, MatchesPriorityQueueOnRandomWorkload) {
+  struct HeapCmp {
+    bool operator()(const CalendarQueue::Entry& a,
+                    const CalendarQueue::Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  CalendarQueue cal(SimTime::units(0.05), 8);
+  std::priority_queue<CalendarQueue::Entry, std::vector<CalendarQueue::Entry>,
+                      HeapCmp>
+      heap;
+  Rng rng(99);
+  std::uint64_t seq = 0;
+  double now = 0.0;
+  // Interleaved pushes and pops mimicking a simulation's hold model.
+  for (int step = 0; step < 20'000; ++step) {
+    if (heap.empty() || rng.chance(0.55)) {
+      const CalendarQueue::Entry e{SimTime::units(now + rng.uniform(0.0, 3.0)),
+                                   seq, seq};
+      ++seq;
+      cal.push(e);
+      heap.push(e);
+    } else {
+      ASSERT_FALSE(cal.empty());
+      const auto a = cal.pop();
+      const auto b = heap.top();
+      heap.pop();
+      ASSERT_EQ(a.id, b.id) << "diverged at step " << step;
+      now = a.time.to_units();
+    }
+  }
+  while (!heap.empty()) {
+    ASSERT_EQ(cal.pop().id, heap.top().id);
+    heap.pop();
+  }
+  EXPECT_TRUE(cal.empty());
+}
+
+}  // namespace
+}  // namespace dmx::sim

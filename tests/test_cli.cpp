@@ -1,0 +1,120 @@
+// Tests for the dmx_sweep command-line front end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/cli.hpp"
+
+namespace dmx::harness {
+namespace {
+
+CliOptions parse(std::initializer_list<std::string> args) {
+  return parse_cli(std::vector<std::string>(args));
+}
+
+TEST(Cli, Defaults) {
+  const auto o = parse({});
+  EXPECT_EQ(o.algorithm, "arbiter-tp");
+  EXPECT_EQ(o.n_nodes, 10u);
+  EXPECT_EQ(o.lambdas, std::vector<double>{0.5});
+  EXPECT_EQ(o.requests, 100'000u);
+  EXPECT_EQ(o.seeds, 3u);
+  EXPECT_FALSE(o.csv);
+  EXPECT_FALSE(o.help);
+  EXPECT_FALSE(o.list);
+}
+
+TEST(Cli, ParsesEverything) {
+  const auto o = parse({"--algo", "raymond", "--n", "16", "--lambda",
+                        "0.1,0.2,1.5", "--requests", "5000", "--seeds", "7",
+                        "--t-msg", "0.05", "--t-exec", "0.2", "--param",
+                        "t_req=0.3", "--param", "order=priority", "--delay",
+                        "uniform", "--jitter", "0.02", "--loss",
+                        "PRIVILEGE=0.01", "--csv"});
+  EXPECT_EQ(o.algorithm, "raymond");
+  EXPECT_EQ(o.n_nodes, 16u);
+  EXPECT_EQ(o.lambdas, (std::vector<double>{0.1, 0.2, 1.5}));
+  EXPECT_EQ(o.requests, 5000u);
+  EXPECT_EQ(o.seeds, 7u);
+  EXPECT_DOUBLE_EQ(o.t_msg, 0.05);
+  EXPECT_DOUBLE_EQ(o.t_exec, 0.2);
+  EXPECT_DOUBLE_EQ(o.params.get_num("t_req", 0.0), 0.3);
+  EXPECT_EQ(o.params.get_str("order", ""), "priority");
+  EXPECT_EQ(o.delay_kind, DelayKind::kUniform);
+  EXPECT_DOUBLE_EQ(o.jitter, 0.02);
+  EXPECT_DOUBLE_EQ(o.loss_by_type.at("PRIVILEGE"), 0.01);
+  EXPECT_TRUE(o.csv);
+}
+
+TEST(Cli, HelpAndList) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"-h"}).help);
+  EXPECT_TRUE(parse({"--list"}).list);
+}
+
+TEST(Cli, Rejections) {
+  EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--n"}), std::invalid_argument);          // missing value
+  EXPECT_THROW(parse({"--n", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--n", "abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--lambda", "0.5,-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--lambda", ""}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seeds", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--param", "noequals"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--param", "=x"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--delay", "warp"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--loss", "PRIVILEGE"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--t-msg", "1.5x"}), std::invalid_argument);
+}
+
+TEST(Cli, RunHelpPrintsUsage) {
+  CliOptions o;
+  o.help = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, RunListPrintsAlgorithms) {
+  CliOptions o;
+  o.list = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("arbiter-tp"), std::string::npos);
+  EXPECT_NE(os.str().find("suzuki-kasami"), std::string::npos);
+}
+
+TEST(Cli, RunUnknownAlgorithmFails) {
+  CliOptions o;
+  o.algorithm = "nope";
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 2);
+}
+
+TEST(Cli, RunSmallSweepProducesTable) {
+  CliOptions o;
+  o.lambdas = {0.2, 1.0};
+  o.requests = 1'000;
+  o.seeds = 1;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("msgs/cs"), std::string::npos);
+  EXPECT_NE(out.find("0.200"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_EQ(out.find("VIOLATED"), std::string::npos);
+}
+
+TEST(Cli, RunCsvMode) {
+  CliOptions o;
+  o.lambdas = {0.5};
+  o.requests = 500;
+  o.seeds = 1;
+  o.csv = true;
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  EXPECT_NE(os.str().find("lambda,msgs/cs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmx::harness

@@ -1,0 +1,63 @@
+// Golden-trace test: the paper's §2.2 example must produce an exact,
+// deterministic message sequence.  This pins the protocol's wire behaviour
+// — any reordering, extra message or timing drift fails loudly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "testbed.hpp"
+
+namespace dmx::core {
+namespace {
+
+std::string run_paper_example_trace() {
+  mutex::ParamSet p;
+  p.set("t_req", 1.0).set("t_fwd", 1.0);
+  testbed::MutexCluster tb("arbiter-tp", 5, p, /*t_msg=*/1.0, /*t_exec=*/1.0);
+  std::ostringstream os;
+  tb.network().set_tap([&](const net::Envelope& env, bool dropped) {
+    os << env.sent_at.to_units() << " " << env.src << "->" << env.dst << " "
+       << env.payload->describe() << (dropped ? " DROPPED" : "") << "\n";
+  });
+  tb.submit_at(0.0, 1);
+  tb.submit_at(0.2, 4);
+  tb.submit_at(1.9, 3);
+  tb.sim().run();
+  EXPECT_EQ(tb.total_completed(), 3u);
+  EXPECT_EQ(tb.monitor.violations(), 0u);
+  return os.str();
+}
+
+TEST(GoldenTrace, PaperExampleMessageSequence) {
+  const std::string expected =
+      "0 1->0 REQUEST(node=1, seq=1, fwd=0)\n"
+      "0.2 4->0 REQUEST(node=4, seq=1, fwd=0)\n"
+      "1.9 3->0 REQUEST(node=3, seq=1, fwd=0)\n"
+      // Collection window [1.0, 2.0] closes: dispatch of Q = {1,4}.  The
+      // NEW-ARBITER broadcast and the token hand-off happen at the same
+      // instant; the implementation broadcasts first.
+      "2 0->1 NEW-ARBITER(4, Q={1,4}, c=1)\n"
+      "2 0->2 NEW-ARBITER(4, Q={1,4}, c=1)\n"
+      "2 0->3 NEW-ARBITER(4, Q={1,4}, c=1)\n"
+      "2 0->4 NEW-ARBITER(4, Q={1,4}, c=1)\n"
+      "2 0->1 PRIVILEGE(Q={1,4}, epoch=1)\n"
+      // Node 3's request reached node 0 during the forwarding phase.
+      "2.9 0->4 REQUEST(node=3, seq=1, fwd=1)\n"
+      // Node 1's CS [3.0, 4.0], then the token moves to node 4.
+      "4 1->4 PRIVILEGE(Q={4}, epoch=1)\n"
+      // Node 4 (the arbiter) serves itself [5.0, 6.0], then collects and
+      // dispatches Q = {3}.
+      "7 4->0 NEW-ARBITER(3, Q={3}, c=2)\n"
+      "7 4->1 NEW-ARBITER(3, Q={3}, c=2)\n"
+      "7 4->2 NEW-ARBITER(3, Q={3}, c=2)\n"
+      "7 4->3 NEW-ARBITER(3, Q={3}, c=2)\n"
+      "7 4->3 PRIVILEGE(Q={3}, epoch=1)\n";
+  EXPECT_EQ(run_paper_example_trace(), expected);
+}
+
+TEST(GoldenTrace, IsBitDeterministic) {
+  EXPECT_EQ(run_paper_example_trace(), run_paper_example_trace());
+}
+
+}  // namespace
+}  // namespace dmx::core

@@ -1,0 +1,167 @@
+// Property tests swept across every algorithm, load level and seed:
+//   * Safety:   no two nodes ever overlap in the critical section.
+//   * Liveness: every submitted request completes (the run drains).
+//   * Sanity:   message counts stay within each algorithm's analytic band.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/models.hpp"
+#include "harness/experiment.hpp"
+
+namespace dmx {
+namespace {
+
+using Param = std::tuple<std::string, double, std::uint64_t>;
+
+class AlgorithmProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AlgorithmProperties, SafeLiveAndInBand) {
+  const auto& [algo, lambda, seed] = GetParam();
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = algo;
+  cfg.n_nodes = 10;
+  cfg.lambda = lambda;
+  cfg.total_requests = 3'000;
+  cfg.seed = seed;
+  const auto r = harness::run_experiment(cfg);
+
+  EXPECT_EQ(r.safety_violations, 0u) << algo << " lambda=" << lambda;
+  EXPECT_LE(r.max_occupancy, 1);
+  EXPECT_TRUE(r.drained) << algo << " completed " << r.completed << "/"
+                         << r.submitted;
+  EXPECT_EQ(r.completed, cfg.total_requests);
+
+  // Message-count sanity bands (generous, per-algorithm).
+  const double m = r.messages_per_cs;
+  const std::size_t n = cfg.n_nodes;
+  if (algo == "arbiter-tp" || algo == "arbiter-tp-sf") {
+    EXPECT_GT(m, 1.5) << algo;
+    EXPECT_LT(m, analysis::arbiter_messages_light(n) * 1.4) << algo;
+  } else if (algo == "centralized") {
+    EXPECT_NEAR(m, 2.7, 0.2);  // 3 * (N-1)/N
+  } else if (algo == "ricart-agrawala") {
+    EXPECT_DOUBLE_EQ(m, analysis::ricart_agrawala_messages(n));
+  } else if (algo == "lamport") {
+    EXPECT_DOUBLE_EQ(m, analysis::lamport_messages(n));
+  } else if (algo == "suzuki-kasami") {
+    EXPECT_LE(m, analysis::suzuki_kasami_messages(n) + 0.5);
+  } else if (algo == "raymond") {
+    EXPECT_LT(m, 8.0);
+    EXPECT_GT(m, 1.0);
+  } else if (algo == "maekawa") {
+    EXPECT_GE(m, analysis::maekawa_messages_low(n) - 0.5);
+    EXPECT_LT(m, 2.5 * analysis::maekawa_messages_high(n));
+  } else if (algo == "singhal") {
+    EXPECT_LT(m, 2.0 * static_cast<double>(n));
+  } else if (algo == "token-ring") {
+    // ~1 token hop per CS at saturation; wakeup chains at light load.
+    EXPECT_LT(m, 3.0 * static_cast<double>(n));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgorithmProperties,
+    ::testing::Combine(
+        ::testing::Values("arbiter-tp", "arbiter-tp-sf", "centralized",
+                          "suzuki-kasami", "ricart-agrawala", "lamport",
+                          "raymond", "maekawa", "singhal", "token-ring"),
+        ::testing::Values(0.02, 0.5, 3.0),
+        ::testing::Values<std::uint64_t>(1, 2)),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      std::string name = std::get<0>(pinfo.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      const double lam = std::get<1>(pinfo.param);
+      name += lam < 0.1 ? "_low" : (lam < 1.0 ? "_mid" : "_high");
+      name += "_s" + std::to_string(std::get<2>(pinfo.param));
+      return name;
+    });
+
+// Cluster-size sweep for the paper's own algorithm: safety/liveness from a
+// trivial 1-node system through N=25, and the analytic limits at the
+// extremes.
+class ArbiterAcrossN : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArbiterAcrossN, LightLoadMatchesEq1) {
+  const std::size_t n = GetParam();
+  harness::ExperimentConfig cfg;
+  cfg.n_nodes = n;
+  cfg.lambda = 0.005;
+  cfg.total_requests = 2'000;
+  cfg.seed = 5;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_TRUE(r.drained);
+  if (n > 1) {
+    EXPECT_NEAR(r.messages_per_cs, analysis::arbiter_messages_light(n),
+                0.18 * analysis::arbiter_messages_light(n))
+        << "N=" << n;
+  }
+}
+
+TEST_P(ArbiterAcrossN, HeavyLoadMatchesEq4) {
+  const std::size_t n = GetParam();
+  harness::ExperimentConfig cfg;
+  cfg.n_nodes = n;
+  cfg.lambda = 20.0 / static_cast<double>(n);
+  cfg.total_requests = 5'000;
+  cfg.seed = 6;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_TRUE(r.drained);
+  if (n > 1) {
+    EXPECT_NEAR(r.messages_per_cs, analysis::arbiter_messages_heavy(n), 0.45)
+        << "N=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArbiterAcrossN,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 10, 25),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "N" + std::to_string(i.param);
+                         });
+
+// Delay-model robustness: the algorithm stays safe and live under jittered
+// (reordering) message delays, not just the paper's constant delay.
+class DelayRobustness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(DelayRobustness, SafeAndLiveUnderJitter) {
+  const auto& [algo, kind] = GetParam();
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = algo;
+  cfg.n_nodes = 8;
+  cfg.lambda = 0.5;
+  cfg.total_requests = 3'000;
+  cfg.seed = 13;
+  cfg.delay_kind =
+      kind == 0 ? harness::DelayKind::kUniform : harness::DelayKind::kExponential;
+  cfg.delay_jitter = 0.15;
+  // Jitter can reorder REQUEST-before-NEW-ARBITER, so lean on the
+  // retransmission rule harder.
+  cfg.params.set("resubmit_after_misses", 1.0).set("t_fwd", 0.3);
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.safety_violations, 0u) << algo;
+  EXPECT_TRUE(r.drained) << algo << " completed " << r.completed << "/"
+                         << r.submitted;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Jitter, DelayRobustness,
+    ::testing::Combine(::testing::Values("arbiter-tp", "suzuki-kasami",
+                                         "ricart-agrawala", "raymond",
+                                         "lamport", "centralized"),
+                       ::testing::Values(0, 1)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& pinfo) {
+      std::string name = std::get<0>(pinfo.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + (std::get<1>(pinfo.param) == 0 ? "_uniform" : "_expo");
+    });
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/time.hpp"
+
+namespace dmx::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.raw(), 0);
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, UnitsRoundTrip) {
+  const SimTime t = SimTime::units(0.1);
+  EXPECT_DOUBLE_EQ(t.to_units(), 0.1);
+  EXPECT_EQ(t.raw(), SimTime::kTicksPerUnit / 10);
+}
+
+TEST(SimTime, UnitsRoundsToNearestTick) {
+  // 1e-7 units = 0.1 ticks -> rounds to 0.
+  EXPECT_EQ(SimTime::units(1e-7).raw(), 0);
+  // 6e-7 units = 0.6 ticks -> rounds to 1.
+  EXPECT_EQ(SimTime::units(6e-7).raw(), 1);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::units(1.5);
+  const SimTime b = SimTime::units(0.5);
+  EXPECT_DOUBLE_EQ((a + b).to_units(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).to_units(), 1.0);
+  EXPECT_DOUBLE_EQ((b * std::int64_t{3}).to_units(), 1.5);
+  EXPECT_DOUBLE_EQ((std::int64_t{3} * b).to_units(), 1.5);
+  EXPECT_DOUBLE_EQ(a.scaled(2.0).to_units(), 3.0);
+  EXPECT_DOUBLE_EQ(a.scaled(1.0 / 3.0).to_units(), 0.5);
+}
+
+TEST(SimTime, CompoundAssignment) {
+  SimTime t = SimTime::units(1.0);
+  t += SimTime::units(0.25);
+  EXPECT_DOUBLE_EQ(t.to_units(), 1.25);
+  t -= SimTime::units(1.0);
+  EXPECT_DOUBLE_EQ(t.to_units(), 0.25);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::units(1.0), SimTime::units(1.1));
+  EXPECT_GT(SimTime::units(2.0), SimTime::units(1.9999));
+  EXPECT_LE(SimTime::units(1.0), SimTime::units(1.0));
+  EXPECT_EQ(SimTime::units(0.3) + SimTime::units(0.7), SimTime::units(1.0));
+}
+
+TEST(SimTime, ExactIntegerArithmeticNoDrift) {
+  // 0.1 is not representable in binary floating point; integer ticks make
+  // ten steps of 0.1 exactly equal to 1.0.
+  SimTime t;
+  for (int i = 0; i < 10; ++i) t += SimTime::units(0.1);
+  EXPECT_EQ(t, SimTime::units(1.0));
+}
+
+TEST(SimTime, MaxActsAsNever) {
+  EXPECT_GT(SimTime::max(), SimTime::units(1e12));
+}
+
+TEST(SimTime, Printing) {
+  std::ostringstream os;
+  os << SimTime::units(1.25);
+  EXPECT_EQ(os.str(), "1.250000");
+}
+
+TEST(SimTime, NegativeDurations) {
+  const SimTime d = SimTime::units(1.0) - SimTime::units(2.5);
+  EXPECT_DOUBLE_EQ(d.to_units(), -1.5);
+  EXPECT_LT(d, SimTime::zero());
+}
+
+}  // namespace
+}  // namespace dmx::sim

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dmx::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_count(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::units(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::units(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::units(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::units(3.0));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.schedule_at(SimTime::units(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime observed;
+  sim.schedule_after(SimTime::units(1.0), [&] {
+    sim.schedule_after(SimTime::units(0.5), [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, SimTime::units(1.5));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(SimTime::units(1.0), [&] { ran = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::units(1.0), [&] { order.push_back(1); });
+  const EventId id =
+      sim.schedule_at(SimTime::units(2.0), [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::units(3.0), [&] { order.push_back(3); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::units(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::units(5.0), [&] { order.push_back(5); });
+  sim.run_until(SimTime::units(2.0));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.now(), SimTime::units(2.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 5}));
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(SimTime::units(2.0), [&] { ran = true; });
+  sim.run_until(SimTime::units(2.0));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(SimTime::units(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(SimTime::units(0.001), recurse);
+  };
+  sim.schedule_after(SimTime::zero(), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(SimTime::units(5.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::units(1.0), [] {}),
+               std::logic_error);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(SimTime::units(1.0), Simulator::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  SimTime when = SimTime::max();
+  sim.schedule_after(SimTime::units(1.0), [&] {
+    sim.schedule_after(SimTime::zero(), [&] { when = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(when, SimTime::units(1.0));
+}
+
+TEST(Simulator, PendingCountTracksQueue) {
+  Simulator sim;
+  const EventId a = sim.schedule_after(SimTime::units(1.0), [] {});
+  sim.schedule_after(SimTime::units(2.0), [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, ManyEventsStress) {
+  Simulator sim;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    sim.schedule_at(SimTime::ticks(i % 997), [&] { ++sum; });
+  }
+  sim.run();
+  EXPECT_EQ(sum, 50'000u);
+}
+
+}  // namespace
+}  // namespace dmx::sim

@@ -1,0 +1,57 @@
+// End-to-end smoke tests: the arbiter algorithm under light/moderate/heavy
+// load must be safe (no two nodes in CS), live (every submitted request is
+// eventually served) and in the right message-count ballpark.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace dmx {
+namespace {
+
+harness::ExperimentConfig base_config() {
+  harness::ExperimentConfig cfg;
+  cfg.n_nodes = 10;
+  cfg.t_msg = 0.1;
+  cfg.t_exec = 0.1;
+  cfg.params.set("t_req", 0.1).set("t_fwd", 0.1);
+  cfg.total_requests = 5'000;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(Smoke, LightLoadSafeAndLive) {
+  auto cfg = base_config();
+  cfg.lambda = 0.01;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_TRUE(r.drained) << "completed " << r.completed << " of "
+                         << r.submitted;
+  // Eq. (1): light load tends to (N^2-1)/N = 9.9 messages per CS.
+  EXPECT_GT(r.messages_per_cs, 7.0);
+  EXPECT_LT(r.messages_per_cs, 12.0);
+}
+
+TEST(Smoke, HeavyLoadSafeAndLiveAndCheap) {
+  auto cfg = base_config();
+  cfg.lambda = 10.0;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_TRUE(r.drained) << "completed " << r.completed << " of "
+                         << r.submitted;
+  // Eq. (4): heavy load tends to 3 - 2/N = 2.8 messages per CS.
+  EXPECT_GT(r.messages_per_cs, 2.0);
+  EXPECT_LT(r.messages_per_cs, 3.5);
+}
+
+TEST(Smoke, ModerateLoad) {
+  auto cfg = base_config();
+  cfg.lambda = 0.5;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.messages_per_cs, 2.0);
+  EXPECT_LT(r.messages_per_cs, 12.0);
+}
+
+}  // namespace
+}  // namespace dmx

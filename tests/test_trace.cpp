@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.hpp"
+
+namespace dmx::trace {
+namespace {
+
+TEST(Tracer, DisabledTracerDropsRecords) {
+  Tracer t;  // no sink
+  EXPECT_FALSE(t.enabled());
+  t.emit(sim::SimTime::units(1.0), 0, "cat", "detail");  // must not crash
+}
+
+TEST(MemorySink, CapturesRecords) {
+  auto sink = std::make_shared<MemorySink>();
+  Tracer t(sink);
+  EXPECT_TRUE(t.enabled());
+  t.emit(sim::SimTime::units(1.0), 2, "token", "passing to node 3");
+  t.emit(sim::SimTime::units(2.0), 3, "cs", "entering critical section");
+  ASSERT_EQ(sink->records().size(), 2u);
+  EXPECT_EQ(sink->records()[0].node, 2);
+  EXPECT_EQ(sink->records()[0].category, "token");
+  EXPECT_EQ(sink->records()[1].time, sim::SimTime::units(2.0));
+}
+
+TEST(MemorySink, ByCategoryAndContaining) {
+  auto sink = std::make_shared<MemorySink>();
+  Tracer t(sink);
+  t.emit(sim::SimTime::zero(), 0, "token", "passing to node 1");
+  t.emit(sim::SimTime::zero(), 1, "cs", "entering");
+  t.emit(sim::SimTime::zero(), 1, "token", "passing to node 2");
+  EXPECT_EQ(sink->by_category("token").size(), 2u);
+  EXPECT_EQ(sink->by_category("cs").size(), 1u);
+  EXPECT_EQ(sink->by_category("none").size(), 0u);
+  EXPECT_EQ(sink->count_containing("passing"), 2u);
+  sink->clear();
+  EXPECT_TRUE(sink->records().empty());
+}
+
+TEST(OstreamSink, FormatsRecords) {
+  std::ostringstream os;
+  auto sink = std::make_shared<OstreamSink>(os);
+  Tracer t(sink);
+  t.emit(sim::SimTime::units(1.5), 4, "arbiter", "became arbiter");
+  const std::string line = os.str();
+  EXPECT_NE(line.find("1.5"), std::string::npos);
+  EXPECT_NE(line.find("node  4"), std::string::npos);
+  EXPECT_NE(line.find("arbiter"), std::string::npos);
+  EXPECT_NE(line.find("became arbiter"), std::string::npos);
+}
+
+TEST(OstreamSink, SystemRecordsHaveNoNode) {
+  std::ostringstream os;
+  Tracer t(std::make_shared<OstreamSink>(os));
+  t.emit(sim::SimTime::zero(), -1, "sim", "boot");
+  EXPECT_NE(os.str().find("system"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmx::trace

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mutex/cs_driver.hpp"
+#include "net/delay_model.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/simulator.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/generator.hpp"
+
+namespace dmx::workload {
+namespace {
+
+TEST(Arrivals, PoissonMeanGapMatchesRate) {
+  sim::Rng rng(1);
+  PoissonArrivals p(2.0);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += p.next_gap(rng).to_units();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(p.mean_rate(), 2.0);
+}
+
+TEST(Arrivals, DeterministicIsConstant) {
+  sim::Rng rng(1);
+  DeterministicArrivals d(sim::SimTime::units(0.25));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.next_gap(rng), sim::SimTime::units(0.25));
+  }
+  EXPECT_DOUBLE_EQ(d.mean_rate(), 4.0);
+}
+
+TEST(Arrivals, UniformWithinBounds) {
+  sim::Rng rng(2);
+  UniformArrivals u(sim::SimTime::units(0.1), sim::SimTime::units(0.3));
+  for (int i = 0; i < 1000; ++i) {
+    const double g = u.next_gap(rng).to_units();
+    EXPECT_GE(g, 0.1);
+    EXPECT_LT(g, 0.3);
+  }
+  EXPECT_NEAR(u.mean_rate(), 5.0, 1e-9);
+}
+
+TEST(Arrivals, BurstyLongRunRate) {
+  sim::Rng rng(3);
+  // ON at rate 10 for mean 1 unit, OFF for mean 1 unit -> long-run rate 5.
+  BurstyArrivals b(10.0, sim::SimTime::units(1.0), sim::SimTime::units(1.0));
+  EXPECT_NEAR(b.mean_rate(), 5.0, 1e-9);
+  double total = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) total += b.next_gap(rng).to_units();
+  EXPECT_NEAR(static_cast<double>(n) / total, 5.0, 0.5);
+}
+
+TEST(Arrivals, Validation) {
+  EXPECT_THROW(PoissonArrivals(0.0), std::invalid_argument);
+  EXPECT_THROW(DeterministicArrivals(sim::SimTime::zero()),
+               std::invalid_argument);
+  EXPECT_THROW(UniformArrivals(sim::SimTime::units(0.5),
+                               sim::SimTime::units(0.4)),
+               std::invalid_argument);
+  EXPECT_THROW(BurstyArrivals(-1.0, sim::SimTime::units(1.0),
+                              sim::SimTime::units(1.0)),
+               std::invalid_argument);
+}
+
+// A no-message algorithm granting instantly, to exercise the generator and
+// driver without a cluster.
+class InstantMutex final : public mutex::MutexAlgorithm {
+ public:
+  void request(const mutex::CsRequest& req) override { grant(req); }
+  void release() override {}
+  [[nodiscard]] std::string_view algorithm_name() const override {
+    return "instant";
+  }
+
+ protected:
+  void handle(const net::Envelope&) override {}
+};
+
+struct GeneratorFixture {
+  sim::Simulator sim;
+  // A real cluster is needed so the algorithm is bound (id(), timers).
+  runtime::Cluster cluster{
+      2, std::make_unique<net::ConstantDelay>(sim::SimTime::units(0.1)), 1};
+  mutex::RequestIdSource ids;
+  mutex::SafetyMonitor monitor;
+  std::vector<InstantMutex*> algos;
+  std::vector<std::unique_ptr<mutex::CsDriver>> drivers;
+
+  GeneratorFixture() {
+    for (std::int32_t i = 0; i < 2; ++i) {
+      auto up = std::make_unique<InstantMutex>();
+      algos.push_back(up.get());
+      cluster.install(net::NodeId{i}, std::move(up));
+      drivers.push_back(std::make_unique<mutex::CsDriver>(
+          cluster.simulator(), *algos.back(), sim::SimTime::units(0.01),
+          &monitor, &ids));
+    }
+    cluster.start();
+  }
+};
+
+TEST(Generator, StopsAtGlobalBudget) {
+  GeneratorFixture f;
+  std::vector<mutex::CsDriver*> dp{f.drivers[0].get(), f.drivers[1].get()};
+  std::vector<std::unique_ptr<ArrivalProcess>> ap;
+  ap.push_back(std::make_unique<PoissonArrivals>(5.0));
+  ap.push_back(std::make_unique<PoissonArrivals>(5.0));
+  OpenLoopGenerator gen(f.cluster.simulator(), dp, std::move(ap), 100, 7);
+  gen.start();
+  f.cluster.simulator().run();
+  EXPECT_EQ(gen.submitted(), 100u);
+  EXPECT_EQ(f.drivers[0]->submitted() + f.drivers[1]->submitted(), 100u);
+  EXPECT_EQ(f.drivers[0]->completed() + f.drivers[1]->completed(), 100u);
+}
+
+TEST(Generator, StopNodeHaltsItsArrivals) {
+  GeneratorFixture f;
+  std::vector<mutex::CsDriver*> dp{f.drivers[0].get(), f.drivers[1].get()};
+  std::vector<std::unique_ptr<ArrivalProcess>> ap;
+  ap.push_back(std::make_unique<DeterministicArrivals>(sim::SimTime::units(1.0)));
+  ap.push_back(std::make_unique<DeterministicArrivals>(sim::SimTime::units(1.0)));
+  OpenLoopGenerator gen(f.cluster.simulator(), dp, std::move(ap), 1000, 7);
+  gen.stop_node(1);
+  gen.start();
+  f.cluster.simulator().run_until(sim::SimTime::units(50.5));
+  EXPECT_EQ(f.drivers[1]->submitted(), 0u);
+  EXPECT_EQ(f.drivers[0]->submitted(), 50u);
+}
+
+TEST(Generator, PriorityFunctionApplied) {
+  GeneratorFixture f;
+  std::vector<mutex::CsDriver*> dp{f.drivers[0].get(), f.drivers[1].get()};
+  std::vector<std::unique_ptr<ArrivalProcess>> ap;
+  ap.push_back(std::make_unique<DeterministicArrivals>(sim::SimTime::units(1.0)));
+  ap.push_back(std::make_unique<DeterministicArrivals>(sim::SimTime::units(1.0)));
+  OpenLoopGenerator gen(f.cluster.simulator(), dp, std::move(ap), 4, 7);
+  std::vector<std::pair<std::size_t, std::uint64_t>> calls;
+  gen.set_priority_fn([&](std::size_t node, std::uint64_t k) {
+    calls.emplace_back(node, k);
+    return static_cast<int>(node);
+  });
+  gen.start();
+  f.cluster.simulator().run();
+  EXPECT_EQ(calls.size(), 4u);
+}
+
+TEST(Generator, MismatchedVectorsThrow) {
+  GeneratorFixture f;
+  std::vector<mutex::CsDriver*> dp{f.drivers[0].get()};
+  std::vector<std::unique_ptr<ArrivalProcess>> ap;
+  ap.push_back(std::make_unique<PoissonArrivals>(1.0));
+  ap.push_back(std::make_unique<PoissonArrivals>(1.0));
+  EXPECT_THROW(OpenLoopGenerator(f.cluster.simulator(), dp, std::move(ap), 10, 1),
+               std::invalid_argument);
+}
+
+TEST(Generator, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    GeneratorFixture f;
+    std::vector<mutex::CsDriver*> dp{f.drivers[0].get(), f.drivers[1].get()};
+    std::vector<std::unique_ptr<ArrivalProcess>> ap;
+    ap.push_back(std::make_unique<PoissonArrivals>(3.0));
+    ap.push_back(std::make_unique<PoissonArrivals>(3.0));
+    OpenLoopGenerator gen(f.cluster.simulator(), dp, std::move(ap), 200, 11);
+    gen.start();
+    f.cluster.simulator().run();
+    return std::make_pair(f.drivers[0]->submitted(),
+                          f.cluster.simulator().now().raw());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace dmx::workload

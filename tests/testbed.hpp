@@ -1,0 +1,100 @@
+// Shared fixture for protocol-level tests: a cluster of N mutex algorithm
+// instances with drivers, a safety monitor and a memory trace sink, driven
+// manually (no workload generator) so tests can script exact scenarios.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/arbiter_mutex.hpp"
+#include "harness/experiment.hpp"
+#include "mutex/cs_driver.hpp"
+#include "mutex/registry.hpp"
+#include "mutex/safety_monitor.hpp"
+#include "net/delay_model.hpp"
+#include "runtime/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace dmx::testbed {
+
+struct MutexCluster {
+  std::shared_ptr<trace::MemorySink> sink;
+  std::unique_ptr<runtime::Cluster> cluster;
+  mutex::SafetyMonitor monitor;
+  mutex::RequestIdSource ids;
+  std::vector<mutex::MutexAlgorithm*> algos;
+  std::vector<std::unique_ptr<mutex::CsDriver>> drivers;
+
+  /// Build an N-node cluster of the named registered algorithm.
+  MutexCluster(const std::string& algorithm, std::size_t n,
+               const mutex::ParamSet& params, double t_msg = 0.1,
+               double t_exec = 0.1, std::uint64_t seed = 1)
+      : sink(std::make_shared<trace::MemorySink>()) {
+    harness::register_builtin_algorithms();
+    cluster = std::make_unique<runtime::Cluster>(
+        n, std::make_unique<net::ConstantDelay>(sim::SimTime::units(t_msg)),
+        seed, trace::Tracer(sink));
+    for (std::size_t i = 0; i < n; ++i) {
+      const net::NodeId nid{static_cast<std::int32_t>(i)};
+      mutex::FactoryContext ctx{nid, n, params};
+      auto algo = mutex::Registry::instance().create(algorithm, ctx);
+      algos.push_back(algo.get());
+      cluster->install(nid, std::move(algo));
+      drivers.push_back(std::make_unique<mutex::CsDriver>(
+          cluster->simulator(), *algos.back(), sim::SimTime::units(t_exec),
+          &monitor, &ids));
+    }
+    cluster->start();
+  }
+
+  sim::Simulator& sim() { return cluster->simulator(); }
+  net::Network& network() { return cluster->network(); }
+
+  core::ArbiterMutex& arbiter(std::size_t i) {
+    return *dynamic_cast<core::ArbiterMutex*>(algos[i]);
+  }
+
+  /// Submit a CS demand at node i at absolute sim time t.
+  void submit_at(double t, std::size_t i, int priority = 0) {
+    sim().schedule_at(sim::SimTime::units(t),
+                      [this, i, priority] { drivers[i]->submit(priority); });
+  }
+
+  void crash_at(double t, std::size_t i) {
+    sim().schedule_at(sim::SimTime::units(t), [this, i] {
+      cluster->crash_node(net::NodeId{static_cast<std::int32_t>(i)});
+      drivers[i]->on_node_crashed();
+    });
+  }
+
+  void restart_at(double t, std::size_t i) {
+    sim().schedule_at(sim::SimTime::units(t), [this, i] {
+      cluster->restart_node(net::NodeId{static_cast<std::int32_t>(i)});
+    });
+  }
+
+  [[nodiscard]] std::uint64_t total_completed() const {
+    std::uint64_t c = 0;
+    for (const auto& d : drivers) c += d->completed();
+    return c;
+  }
+
+  [[nodiscard]] std::uint64_t total_submitted() const {
+    std::uint64_t c = 0;
+    for (const auto& d : drivers) c += d->submitted();
+    return c;
+  }
+
+  core::ArbiterStats protocol_stats() {
+    core::ArbiterStats s;
+    for (auto* a : algos) {
+      if (auto* arb = dynamic_cast<core::ArbiterMutex*>(a)) {
+        s.merge(arb->protocol_stats());
+      }
+    }
+    return s;
+  }
+};
+
+}  // namespace dmx::testbed

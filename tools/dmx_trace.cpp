@@ -1,0 +1,178 @@
+// dmx_trace: script a small mutual exclusion scenario and watch every
+// protocol event and message.
+//
+// Examples:
+//   # the paper's §2.2 walk-through
+//   dmx_trace --algo arbiter-tp --n 5 --unit-times
+//       --submit 1:0 --submit 4:0.2 --submit 3:1.9
+//   # token loss with recovery
+//   dmx_trace --algo arbiter-tp --n 5 --param recovery=1
+//       --drop PRIVILEGE --submit 1:0 --submit 2:0.1
+//   # crash the token holder
+//   dmx_trace --n 5 --param recovery=1 --submit 1:0 --crash 1:0.45
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "mutex/cs_driver.hpp"
+#include "mutex/registry.hpp"
+#include "mutex/safety_monitor.hpp"
+#include "net/delay_model.hpp"
+#include "runtime/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+struct Action {
+  enum Kind { kSubmit, kCrash, kRestart } kind;
+  std::size_t node;
+  double time;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "dmx_trace: " << msg << R"(
+
+usage: dmx_trace [flags]
+  --algo NAME           algorithm                      [arbiter-tp]
+  --n N                 nodes                          [5]
+  --t-msg X / --t-exec X                               [0.1 / 0.1]
+  --unit-times          shorthand for t-msg=t-exec=t_req=t_fwd=1
+  --param key=value     algorithm parameter (repeatable)
+  --submit NODE:TIME    demand at NODE at TIME (repeatable)
+  --crash NODE:TIME     crash NODE at TIME (repeatable)
+  --restart NODE:TIME   restart NODE at TIME (repeatable)
+  --drop TYPE           drop the next message of TYPE (repeatable)
+  --until T             stop the clock at T            [200]
+)";
+  std::exit(2);
+}
+
+Action parse_action(Action::Kind kind, const std::string& v) {
+  const auto colon = v.find(':');
+  if (colon == std::string::npos) usage_error("expected NODE:TIME, got " + v);
+  try {
+    return Action{kind, std::stoul(v.substr(0, colon)),
+                  std::stod(v.substr(colon + 1))};
+  } catch (const std::exception&) {
+    usage_error("bad NODE:TIME: " + v);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmx;
+  std::string algo = "arbiter-tp";
+  std::size_t n = 5;
+  double t_msg = 0.1, t_exec = 0.1, until = 200.0;
+  mutex::ParamSet params;
+  std::vector<Action> actions;
+  std::vector<std::string> drops;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value = [&](const char* flag) {
+      if (i + 1 >= args.size()) usage_error(std::string("missing value for ") + flag);
+      return args[++i];
+    };
+    const std::string& a = args[i];
+    if (a == "--algo") {
+      algo = value("--algo");
+    } else if (a == "--n") {
+      n = std::stoul(value("--n"));
+    } else if (a == "--t-msg") {
+      t_msg = std::stod(value("--t-msg"));
+    } else if (a == "--t-exec") {
+      t_exec = std::stod(value("--t-exec"));
+    } else if (a == "--unit-times") {
+      t_msg = t_exec = 1.0;
+      params.set("t_req", 1.0).set("t_fwd", 1.0);
+    } else if (a == "--param") {
+      const std::string kv = value("--param");
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) usage_error("--param expects key=value");
+      try {
+        params.set(kv.substr(0, eq), std::stod(kv.substr(eq + 1)));
+      } catch (const std::exception&) {
+        params.set(kv.substr(0, eq), kv.substr(eq + 1));
+      }
+    } else if (a == "--submit") {
+      actions.push_back(parse_action(Action::kSubmit, value("--submit")));
+    } else if (a == "--crash") {
+      actions.push_back(parse_action(Action::kCrash, value("--crash")));
+    } else if (a == "--restart") {
+      actions.push_back(parse_action(Action::kRestart, value("--restart")));
+    } else if (a == "--drop") {
+      drops.push_back(value("--drop"));
+    } else if (a == "--until") {
+      until = std::stod(value("--until"));
+    } else if (a == "--help" || a == "-h") {
+      usage_error("help");
+    } else {
+      usage_error("unknown flag " + a);
+    }
+  }
+  if (actions.empty()) usage_error("no --submit actions given");
+
+  harness::register_builtin_algorithms();
+  if (!mutex::Registry::instance().contains(algo)) {
+    usage_error("unknown algorithm " + algo + " (see dmx_sweep --list)");
+  }
+
+  trace::Tracer tracer(std::make_shared<trace::OstreamSink>(std::cout));
+  runtime::Cluster cluster(
+      n, std::make_unique<net::ConstantDelay>(sim::SimTime::units(t_msg)), 7,
+      tracer);
+  cluster.network().set_tap([&](const net::Envelope& env, bool dropped) {
+    std::cout << "[" << env.sent_at.to_string() << "] msg     " << env.src
+              << " -> " << env.dst << "  " << env.payload->describe()
+              << (dropped ? "  [DROPPED]" : "") << "\n";
+  });
+  for (const auto& type : drops) {
+    cluster.network().faults().drop_next_of_type(type);
+  }
+
+  mutex::RequestIdSource ids;
+  mutex::SafetyMonitor monitor;
+  std::vector<std::unique_ptr<mutex::CsDriver>> drivers;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId nid{static_cast<std::int32_t>(i)};
+    mutex::FactoryContext ctx{nid, n, params};
+    auto algorithm = mutex::Registry::instance().create(algo, ctx);
+    auto* raw = algorithm.get();
+    cluster.install(nid, std::move(algorithm));
+    drivers.push_back(std::make_unique<mutex::CsDriver>(
+        cluster.simulator(), *raw, sim::SimTime::units(t_exec), &monitor,
+        &ids));
+  }
+  cluster.start();
+
+  for (const Action& act : actions) {
+    if (act.node >= n) usage_error("action node out of range");
+    cluster.simulator().schedule_at(
+        sim::SimTime::units(act.time), [&, act] {
+          const net::NodeId nid{static_cast<std::int32_t>(act.node)};
+          switch (act.kind) {
+            case Action::kSubmit:
+              drivers[act.node]->submit();
+              break;
+            case Action::kCrash:
+              cluster.crash_node(nid);
+              drivers[act.node]->on_node_crashed();
+              break;
+            case Action::kRestart:
+              cluster.restart_node(nid);
+              break;
+          }
+        });
+  }
+  cluster.simulator().run_until(sim::SimTime::units(until));
+
+  std::uint64_t completed = 0;
+  for (auto& d : drivers) completed += d->completed();
+  std::cout << "\n" << completed << " critical sections, "
+            << cluster.network().stats().sent << " messages, "
+            << monitor.violations() << " safety violations\n";
+  return monitor.violations() == 0 ? 0 : 1;
+}
