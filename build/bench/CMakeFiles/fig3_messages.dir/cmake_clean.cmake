@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_messages.dir/fig3_messages.cpp.o"
+  "CMakeFiles/fig3_messages.dir/fig3_messages.cpp.o.d"
+  "fig3_messages"
+  "fig3_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

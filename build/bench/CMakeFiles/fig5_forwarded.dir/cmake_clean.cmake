@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_forwarded.dir/fig5_forwarded.cpp.o"
+  "CMakeFiles/fig5_forwarded.dir/fig5_forwarded.cpp.o.d"
+  "fig5_forwarded"
+  "fig5_forwarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_forwarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

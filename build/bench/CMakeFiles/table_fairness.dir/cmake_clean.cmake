@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_fairness.dir/table_fairness.cpp.o"
+  "CMakeFiles/table_fairness.dir/table_fairness.cpp.o.d"
+  "table_fairness"
+  "table_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

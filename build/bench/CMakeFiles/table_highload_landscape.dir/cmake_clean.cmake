@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_highload_landscape.dir/table_highload_landscape.cpp.o"
+  "CMakeFiles/table_highload_landscape.dir/table_highload_landscape.cpp.o.d"
+  "table_highload_landscape"
+  "table_highload_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_highload_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_recovery.dir/table_recovery.cpp.o"
+  "CMakeFiles/table_recovery.dir/table_recovery.cpp.o.d"
+  "table_recovery"
+  "table_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

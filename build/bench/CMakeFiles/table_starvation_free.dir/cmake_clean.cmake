@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_starvation_free.dir/table_starvation_free.cpp.o"
+  "CMakeFiles/table_starvation_free.dir/table_starvation_free.cpp.o.d"
+  "table_starvation_free"
+  "table_starvation_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_starvation_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

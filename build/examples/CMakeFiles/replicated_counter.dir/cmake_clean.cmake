@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_counter.dir/replicated_counter.cpp.o"
+  "CMakeFiles/replicated_counter.dir/replicated_counter.cpp.o.d"
+  "replicated_counter"
+  "replicated_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

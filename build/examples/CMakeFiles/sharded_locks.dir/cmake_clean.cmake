@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_locks.dir/sharded_locks.cpp.o"
+  "CMakeFiles/sharded_locks.dir/sharded_locks.cpp.o.d"
+  "sharded_locks"
+  "sharded_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

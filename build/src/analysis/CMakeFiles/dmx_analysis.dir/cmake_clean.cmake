@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_analysis.dir/models.cpp.o"
+  "CMakeFiles/dmx_analysis.dir/models.cpp.o.d"
+  "libdmx_analysis.a"
+  "libdmx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

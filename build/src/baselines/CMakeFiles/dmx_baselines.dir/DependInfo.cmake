@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/centralized.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/centralized.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/centralized.cpp.o.d"
+  "/root/repo/src/baselines/lamport.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/lamport.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/lamport.cpp.o.d"
+  "/root/repo/src/baselines/maekawa.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/maekawa.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/maekawa.cpp.o.d"
+  "/root/repo/src/baselines/raymond.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/raymond.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/raymond.cpp.o.d"
+  "/root/repo/src/baselines/registration.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/registration.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/registration.cpp.o.d"
+  "/root/repo/src/baselines/ricart_agrawala.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/ricart_agrawala.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/ricart_agrawala.cpp.o.d"
+  "/root/repo/src/baselines/singhal_dynamic.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/singhal_dynamic.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/singhal_dynamic.cpp.o.d"
+  "/root/repo/src/baselines/suzuki_kasami.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/suzuki_kasami.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/suzuki_kasami.cpp.o.d"
+  "/root/repo/src/baselines/token_ring.cpp" "src/baselines/CMakeFiles/dmx_baselines.dir/token_ring.cpp.o" "gcc" "src/baselines/CMakeFiles/dmx_baselines.dir/token_ring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mutex/CMakeFiles/dmx_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dmx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dmx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dmx_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_baselines.dir/centralized.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/centralized.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/lamport.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/lamport.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/maekawa.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/maekawa.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/raymond.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/raymond.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/registration.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/registration.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/ricart_agrawala.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/ricart_agrawala.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/singhal_dynamic.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/singhal_dynamic.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/suzuki_kasami.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/suzuki_kasami.cpp.o.d"
+  "CMakeFiles/dmx_baselines.dir/token_ring.cpp.o"
+  "CMakeFiles/dmx_baselines.dir/token_ring.cpp.o.d"
+  "libdmx_baselines.a"
+  "libdmx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_core.dir/arbiter_mutex.cpp.o"
+  "CMakeFiles/dmx_core.dir/arbiter_mutex.cpp.o.d"
+  "CMakeFiles/dmx_core.dir/params.cpp.o"
+  "CMakeFiles/dmx_core.dir/params.cpp.o.d"
+  "CMakeFiles/dmx_core.dir/q_list.cpp.o"
+  "CMakeFiles/dmx_core.dir/q_list.cpp.o.d"
+  "libdmx_core.a"
+  "libdmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_harness.dir/cli.cpp.o"
+  "CMakeFiles/dmx_harness.dir/cli.cpp.o.d"
+  "CMakeFiles/dmx_harness.dir/experiment.cpp.o"
+  "CMakeFiles/dmx_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/dmx_harness.dir/register.cpp.o"
+  "CMakeFiles/dmx_harness.dir/register.cpp.o.d"
+  "CMakeFiles/dmx_harness.dir/table.cpp.o"
+  "CMakeFiles/dmx_harness.dir/table.cpp.o.d"
+  "libdmx_harness.a"
+  "libdmx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

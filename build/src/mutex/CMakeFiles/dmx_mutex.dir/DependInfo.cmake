@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mutex/cs_driver.cpp" "src/mutex/CMakeFiles/dmx_mutex.dir/cs_driver.cpp.o" "gcc" "src/mutex/CMakeFiles/dmx_mutex.dir/cs_driver.cpp.o.d"
+  "/root/repo/src/mutex/lock_space.cpp" "src/mutex/CMakeFiles/dmx_mutex.dir/lock_space.cpp.o" "gcc" "src/mutex/CMakeFiles/dmx_mutex.dir/lock_space.cpp.o.d"
+  "/root/repo/src/mutex/registry.cpp" "src/mutex/CMakeFiles/dmx_mutex.dir/registry.cpp.o" "gcc" "src/mutex/CMakeFiles/dmx_mutex.dir/registry.cpp.o.d"
+  "/root/repo/src/mutex/safety_monitor.cpp" "src/mutex/CMakeFiles/dmx_mutex.dir/safety_monitor.cpp.o" "gcc" "src/mutex/CMakeFiles/dmx_mutex.dir/safety_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dmx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dmx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dmx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_mutex.dir/cs_driver.cpp.o"
+  "CMakeFiles/dmx_mutex.dir/cs_driver.cpp.o.d"
+  "CMakeFiles/dmx_mutex.dir/lock_space.cpp.o"
+  "CMakeFiles/dmx_mutex.dir/lock_space.cpp.o.d"
+  "CMakeFiles/dmx_mutex.dir/registry.cpp.o"
+  "CMakeFiles/dmx_mutex.dir/registry.cpp.o.d"
+  "CMakeFiles/dmx_mutex.dir/safety_monitor.cpp.o"
+  "CMakeFiles/dmx_mutex.dir/safety_monitor.cpp.o.d"
+  "libdmx_mutex.a"
+  "libdmx_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_net.dir/delay_model.cpp.o"
+  "CMakeFiles/dmx_net.dir/delay_model.cpp.o.d"
+  "CMakeFiles/dmx_net.dir/fault_injector.cpp.o"
+  "CMakeFiles/dmx_net.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/dmx_net.dir/network.cpp.o"
+  "CMakeFiles/dmx_net.dir/network.cpp.o.d"
+  "CMakeFiles/dmx_net.dir/topology.cpp.o"
+  "CMakeFiles/dmx_net.dir/topology.cpp.o.d"
+  "libdmx_net.a"
+  "libdmx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster.cpp" "src/runtime/CMakeFiles/dmx_runtime.dir/cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/dmx_runtime.dir/cluster.cpp.o.d"
+  "/root/repo/src/runtime/process.cpp" "src/runtime/CMakeFiles/dmx_runtime.dir/process.cpp.o" "gcc" "src/runtime/CMakeFiles/dmx_runtime.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dmx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dmx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/dmx_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/dmx_runtime.dir/process.cpp.o"
+  "CMakeFiles/dmx_runtime.dir/process.cpp.o.d"
+  "libdmx_runtime.a"
+  "libdmx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

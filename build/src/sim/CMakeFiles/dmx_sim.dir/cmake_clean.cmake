@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_sim.dir/calendar_queue.cpp.o"
+  "CMakeFiles/dmx_sim.dir/calendar_queue.cpp.o.d"
+  "CMakeFiles/dmx_sim.dir/rng.cpp.o"
+  "CMakeFiles/dmx_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/dmx_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dmx_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/dmx_sim.dir/time.cpp.o"
+  "CMakeFiles/dmx_sim.dir/time.cpp.o.d"
+  "libdmx_sim.a"
+  "libdmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

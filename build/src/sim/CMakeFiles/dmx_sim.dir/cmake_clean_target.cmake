@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdmx_sim.a"
+)

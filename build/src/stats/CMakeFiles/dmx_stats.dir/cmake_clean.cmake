@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_stats.dir/confidence.cpp.o"
+  "CMakeFiles/dmx_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/dmx_stats.dir/histogram.cpp.o"
+  "CMakeFiles/dmx_stats.dir/histogram.cpp.o.d"
+  "libdmx_stats.a"
+  "libdmx_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_trace.dir/trace.cpp.o"
+  "CMakeFiles/dmx_trace.dir/trace.cpp.o.d"
+  "libdmx_trace.a"
+  "libdmx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

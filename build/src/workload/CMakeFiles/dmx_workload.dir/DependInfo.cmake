@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/dmx_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/dmx_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/closed_loop.cpp" "src/workload/CMakeFiles/dmx_workload.dir/closed_loop.cpp.o" "gcc" "src/workload/CMakeFiles/dmx_workload.dir/closed_loop.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/dmx_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/dmx_workload.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutex/CMakeFiles/dmx_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dmx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dmx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dmx_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/dmx_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/dmx_workload.dir/closed_loop.cpp.o"
+  "CMakeFiles/dmx_workload.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/dmx_workload.dir/generator.cpp.o"
+  "CMakeFiles/dmx_workload.dir/generator.cpp.o.d"
+  "libdmx_workload.a"
+  "libdmx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_harness.dir/test_analysis_harness.cpp.o"
+  "CMakeFiles/test_analysis_harness.dir/test_analysis_harness.cpp.o.d"
+  "test_analysis_harness"
+  "test_analysis_harness.pdb"
+  "test_analysis_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

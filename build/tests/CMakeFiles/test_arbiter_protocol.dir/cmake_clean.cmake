@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arbiter_protocol.dir/test_arbiter_protocol.cpp.o"
+  "CMakeFiles/test_arbiter_protocol.dir/test_arbiter_protocol.cpp.o.d"
+  "test_arbiter_protocol"
+  "test_arbiter_protocol.pdb"
+  "test_arbiter_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arbiter_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

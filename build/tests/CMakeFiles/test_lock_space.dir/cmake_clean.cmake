@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_space.dir/test_lock_space.cpp.o"
+  "CMakeFiles/test_lock_space.dir/test_lock_space.cpp.o.d"
+  "test_lock_space"
+  "test_lock_space.pdb"
+  "test_lock_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mutex_framework.cpp" "tests/CMakeFiles/test_mutex_framework.dir/test_mutex_framework.cpp.o" "gcc" "tests/CMakeFiles/test_mutex_framework.dir/test_mutex_framework.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dmx_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dmx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dmx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutex/CMakeFiles/dmx_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dmx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dmx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dmx_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dmx_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutex_framework.dir/test_mutex_framework.cpp.o"
+  "CMakeFiles/test_mutex_framework.dir/test_mutex_framework.cpp.o.d"
+  "test_mutex_framework"
+  "test_mutex_framework.pdb"
+  "test_mutex_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutex_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

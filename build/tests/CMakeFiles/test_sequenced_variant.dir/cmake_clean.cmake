@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequenced_variant.dir/test_sequenced_variant.cpp.o"
+  "CMakeFiles/test_sequenced_variant.dir/test_sequenced_variant.cpp.o.d"
+  "test_sequenced_variant"
+  "test_sequenced_variant.pdb"
+  "test_sequenced_variant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequenced_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sequenced_variant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_starvation_free.dir/test_starvation_free.cpp.o"
+  "CMakeFiles/test_starvation_free.dir/test_starvation_free.cpp.o.d"
+  "test_starvation_free"
+  "test_starvation_free.pdb"
+  "test_starvation_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_starvation_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

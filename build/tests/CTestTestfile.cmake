@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_time[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_mutex_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_arbiter_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_starvation_free[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_config_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_lock_space[1]_include.cmake")
+include("/root/repo/build/tests/test_topology_closed_loop[1]_include.cmake")
+include("/root/repo/build/tests/test_sequenced_variant[1]_include.cmake")
+include("/root/repo/build/tests/test_golden_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_partitions[1]_include.cmake")
+include("/root/repo/build/tests/test_calendar_queue[1]_include.cmake")

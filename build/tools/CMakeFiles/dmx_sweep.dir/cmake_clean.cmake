@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_sweep.dir/dmx_sweep.cpp.o"
+  "CMakeFiles/dmx_sweep.dir/dmx_sweep.cpp.o.d"
+  "dmx_sweep"
+  "dmx_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

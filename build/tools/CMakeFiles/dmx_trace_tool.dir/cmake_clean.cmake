@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_trace_tool.dir/dmx_trace.cpp.o"
+  "CMakeFiles/dmx_trace_tool.dir/dmx_trace.cpp.o.d"
+  "dmx_trace"
+  "dmx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
