@@ -1,14 +1,22 @@
 // google-benchmark micro benchmarks of the simulation substrate, so users
 // can size their own sweeps: event-queue throughput, network send/deliver
-// cost, and an end-to-end simulated-CS rate for the core algorithm.
+// cost, message dispatch (legacy cast chain vs kind table), per-type stats
+// counters, and an end-to-end simulated-CS rate for the core algorithm.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
 #include "net/delay_model.hpp"
 #include "net/network.hpp"
+#include "runtime/dispatch.hpp"
 #include "sim/simulator.hpp"
+#include "stats/counter_map.hpp"
+#include "stats/kind_counter.hpp"
 
 namespace {
 
@@ -34,8 +42,8 @@ struct NullHandler final : dmx::net::MessageHandler {
   void on_message(const dmx::net::Envelope&) override { ++count; }
 };
 
-struct PingPayload final : dmx::net::Payload {
-  [[nodiscard]] std::string_view type_name() const override { return "PING"; }
+struct PingPayload final : dmx::net::Msg<PingPayload> {
+  DMX_REGISTER_MESSAGE(PingPayload, "PING");
 };
 
 void BM_NetworkSendDeliver(benchmark::State& state) {
@@ -60,6 +68,149 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_NetworkSendDeliver)->Arg(1 << 10)->Arg(1 << 14);
+
+// --- message dispatch: legacy dynamic_cast chain vs kind-indexed table ------
+//
+// Ten payload types, matching the arbiter protocol's message count.  The
+// legacy path probes types in a fixed order (average hit position 5.5, like
+// the old per-algorithm handle() chains); the kind path is one table index.
+
+struct Bm0 final : dmx::net::Msg<Bm0> { DMX_REGISTER_MESSAGE(Bm0, "BENCH-0"); std::uint64_t v = 0; };
+struct Bm1 final : dmx::net::Msg<Bm1> { DMX_REGISTER_MESSAGE(Bm1, "BENCH-1"); std::uint64_t v = 1; };
+struct Bm2 final : dmx::net::Msg<Bm2> { DMX_REGISTER_MESSAGE(Bm2, "BENCH-2"); std::uint64_t v = 2; };
+struct Bm3 final : dmx::net::Msg<Bm3> { DMX_REGISTER_MESSAGE(Bm3, "BENCH-3"); std::uint64_t v = 3; };
+struct Bm4 final : dmx::net::Msg<Bm4> { DMX_REGISTER_MESSAGE(Bm4, "BENCH-4"); std::uint64_t v = 4; };
+struct Bm5 final : dmx::net::Msg<Bm5> { DMX_REGISTER_MESSAGE(Bm5, "BENCH-5"); std::uint64_t v = 5; };
+struct Bm6 final : dmx::net::Msg<Bm6> { DMX_REGISTER_MESSAGE(Bm6, "BENCH-6"); std::uint64_t v = 6; };
+struct Bm7 final : dmx::net::Msg<Bm7> { DMX_REGISTER_MESSAGE(Bm7, "BENCH-7"); std::uint64_t v = 7; };
+struct Bm8 final : dmx::net::Msg<Bm8> { DMX_REGISTER_MESSAGE(Bm8, "BENCH-8"); std::uint64_t v = 8; };
+struct Bm9 final : dmx::net::Msg<Bm9> { DMX_REGISTER_MESSAGE(Bm9, "BENCH-9"); std::uint64_t v = 9; };
+
+struct DispatchTarget {
+  std::uint64_t sum = 0;
+  void on0(const dmx::net::Envelope&, const Bm0& m) { sum += m.v; }
+  void on1(const dmx::net::Envelope&, const Bm1& m) { sum += m.v; }
+  void on2(const dmx::net::Envelope&, const Bm2& m) { sum += m.v; }
+  void on3(const dmx::net::Envelope&, const Bm3& m) { sum += m.v; }
+  void on4(const dmx::net::Envelope&, const Bm4& m) { sum += m.v; }
+  void on5(const dmx::net::Envelope&, const Bm5& m) { sum += m.v; }
+  void on6(const dmx::net::Envelope&, const Bm6& m) { sum += m.v; }
+  void on7(const dmx::net::Envelope&, const Bm7& m) { sum += m.v; }
+  void on8(const dmx::net::Envelope&, const Bm8& m) { sum += m.v; }
+  void on9(const dmx::net::Envelope&, const Bm9& m) { sum += m.v; }
+};
+
+const dmx::runtime::MsgDispatcher<DispatchTarget>& bench_dispatch_table() {
+  static const auto kTable = [] {
+    dmx::runtime::MsgDispatcher<DispatchTarget> t;
+    t.on<&DispatchTarget::on0>().on<&DispatchTarget::on1>()
+        .on<&DispatchTarget::on2>().on<&DispatchTarget::on3>()
+        .on<&DispatchTarget::on4>().on<&DispatchTarget::on5>()
+        .on<&DispatchTarget::on6>().on<&DispatchTarget::on7>()
+        .on<&DispatchTarget::on8>().on<&DispatchTarget::on9>();
+    return t;
+  }();
+  return kTable;
+}
+
+// The pre-refactor dispatch idiom: probe each type in turn with a
+// dynamic_cast until one matches.
+void cast_chain_dispatch(DispatchTarget& t, const dmx::net::Envelope& env) {
+  const dmx::net::Payload* p = env.payload.get();
+  if (const auto* m = dynamic_cast<const Bm0*>(p)) { t.on0(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm1*>(p)) { t.on1(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm2*>(p)) { t.on2(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm3*>(p)) { t.on3(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm4*>(p)) { t.on4(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm5*>(p)) { t.on5(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm6*>(p)) { t.on6(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm7*>(p)) { t.on7(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm8*>(p)) { t.on8(env, *m); return; }
+  if (const auto* m = dynamic_cast<const Bm9*>(p)) { t.on9(env, *m); return; }
+}
+
+/// A deterministic pseudo-random mix of the ten bench message types, so
+/// neither path gets a branch-predictor-friendly repeating pattern.
+std::vector<dmx::net::Envelope> make_bench_envelopes(std::size_t n) {
+  std::vector<dmx::net::Envelope> envs;
+  envs.reserve(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;  // xorshift64
+    dmx::net::Envelope env;
+    env.src = dmx::net::NodeId{0};
+    env.dst = dmx::net::NodeId{1};
+    switch (x % 10) {
+      case 0: env.payload = dmx::net::make_payload<Bm0>(); break;
+      case 1: env.payload = dmx::net::make_payload<Bm1>(); break;
+      case 2: env.payload = dmx::net::make_payload<Bm2>(); break;
+      case 3: env.payload = dmx::net::make_payload<Bm3>(); break;
+      case 4: env.payload = dmx::net::make_payload<Bm4>(); break;
+      case 5: env.payload = dmx::net::make_payload<Bm5>(); break;
+      case 6: env.payload = dmx::net::make_payload<Bm6>(); break;
+      case 7: env.payload = dmx::net::make_payload<Bm7>(); break;
+      case 8: env.payload = dmx::net::make_payload<Bm8>(); break;
+      default: env.payload = dmx::net::make_payload<Bm9>(); break;
+    }
+    envs.push_back(std::move(env));
+  }
+  return envs;
+}
+
+void BM_MessageDispatchCastChain(benchmark::State& state) {
+  const auto envs = make_bench_envelopes(4096);
+  DispatchTarget t;
+  for (auto _ : state) {
+    for (const auto& env : envs) cast_chain_dispatch(t, env);
+    benchmark::DoNotOptimize(t.sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(envs.size()));
+}
+BENCHMARK(BM_MessageDispatchCastChain);
+
+void BM_MessageDispatchKindTable(benchmark::State& state) {
+  const auto envs = make_bench_envelopes(4096);
+  const auto& table = bench_dispatch_table();
+  DispatchTarget t;
+  for (auto _ : state) {
+    for (const auto& env : envs) table.dispatch(t, env);
+    benchmark::DoNotOptimize(t.sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(envs.size()));
+}
+BENCHMARK(BM_MessageDispatchKindTable);
+
+// --- per-type send statistics: string-keyed map vs kind-indexed vector ------
+
+void BM_StatsCounterStringMap(benchmark::State& state) {
+  const auto envs = make_bench_envelopes(4096);
+  dmx::stats::CounterMap counts;
+  for (auto _ : state) {
+    for (const auto& env : envs) {
+      counts.increment(std::string(env.payload->type_name()));
+    }
+    benchmark::DoNotOptimize(counts.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(envs.size()));
+}
+BENCHMARK(BM_StatsCounterStringMap);
+
+void BM_StatsCounterKindVector(benchmark::State& state) {
+  const auto envs = make_bench_envelopes(4096);
+  dmx::stats::KindCounter counts;
+  for (auto _ : state) {
+    for (const auto& env : envs) {
+      counts.increment(env.payload->kind().index());
+    }
+    benchmark::DoNotOptimize(counts.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(envs.size()));
+}
+BENCHMARK(BM_StatsCounterKindVector);
 
 void BM_ArbiterEndToEnd(benchmark::State& state) {
   const auto requests = static_cast<std::uint64_t>(state.range(0));

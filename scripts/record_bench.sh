@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Record the micro-benchmark suite into BENCH_<n>.json at the repo root, so
+# the performance trajectory of the simulator is tracked PR over PR.
+#
+# Usage: scripts/record_bench.sh [build-dir] [output.json]
+# Defaults: build/ and the next free BENCH_<n>.json.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+
+if [[ ! -x "${build_dir}/bench/micro_kernel" ]]; then
+  echo "error: ${build_dir}/bench/micro_kernel not built" >&2
+  echo "build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+if [[ $# -ge 2 ]]; then
+  out="$2"
+else
+  n=0
+  while [[ -e "${repo_root}/BENCH_${n}.json" ]]; do n=$((n + 1)); done
+  out="${repo_root}/BENCH_${n}.json"
+fi
+
+"${build_dir}/bench/micro_kernel" \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPS:-3}" \
+  --benchmark_report_aggregates_only=true
+echo "wrote ${out}"

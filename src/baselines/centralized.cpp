@@ -6,26 +6,20 @@ namespace dmx::baselines {
 
 namespace {
 
-struct CRequestMsg final : net::Payload {
+struct CRequestMsg final : net::Msg<CRequestMsg> {
+  DMX_REGISTER_MESSAGE(CRequestMsg, "C-REQUEST");
   std::uint64_t request_id;
   explicit CRequestMsg(std::uint64_t id) : request_id(id) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "C-REQUEST";
-  }
 };
 
-struct CGrantMsg final : net::Payload {
+struct CGrantMsg final : net::Msg<CGrantMsg> {
+  DMX_REGISTER_MESSAGE(CGrantMsg, "C-GRANT");
   std::uint64_t request_id;
   explicit CGrantMsg(std::uint64_t id) : request_id(id) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "C-GRANT";
-  }
 };
 
-struct CReleaseMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "C-RELEASE";
-  }
+struct CReleaseMsg final : net::Msg<CReleaseMsg> {
+  DMX_REGISTER_MESSAGE(CReleaseMsg, "C-RELEASE");
 };
 
 }  // namespace
@@ -73,18 +67,36 @@ void CentralizedMutex::coordinator_grant_next() {
   send(w.node, net::make_payload<CGrantMsg>(w.request_id));
 }
 
+const runtime::MsgDispatcher<CentralizedMutex>&
+CentralizedMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<CentralizedMutex> t;
+    t.set(CRequestMsg::message_kind(),
+          [](CentralizedMutex& self, const net::Envelope& env) {
+            const auto& req = static_cast<const CRequestMsg&>(*env.payload);
+            self.queue_.push_back(Waiting{env.src, req.request_id});
+            self.coordinator_grant_next();
+          });
+    t.set(CReleaseMsg::message_kind(),
+          [](CentralizedMutex& self, const net::Envelope&) {
+            self.resource_busy_ = false;
+            self.coordinator_grant_next();
+          });
+    t.set(CGrantMsg::message_kind(),
+          [](CentralizedMutex& self, const net::Envelope& env) {
+            const auto& g = static_cast<const CGrantMsg&>(*env.payload);
+            if (self.pending_.has_value() &&
+                self.pending_->request_id == g.request_id) {
+              self.grant(*self.pending_);
+            }
+          });
+    return t;
+  }();
+  return kTable;
+}
+
 void CentralizedMutex::handle(const net::Envelope& env) {
-  if (const auto* req = env.as<CRequestMsg>()) {
-    queue_.push_back(Waiting{env.src, req->request_id});
-    coordinator_grant_next();
-  } else if (env.as<CReleaseMsg>() != nullptr) {
-    resource_busy_ = false;
-    coordinator_grant_next();
-  } else if (const auto* g = env.as<CGrantMsg>()) {
-    if (pending_.has_value() && pending_->request_id == g->request_id) {
-      grant(*pending_);
-    }
-  } else {
+  if (!dispatch_table().dispatch(*this, env)) {
     throw std::logic_error("CentralizedMutex: unknown message");
   }
 }

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -31,6 +32,9 @@ class CentralizedMutex final : public mutex::MutexAlgorithm {
     net::NodeId node;
     std::uint64_t request_id;
   };
+
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<CentralizedMutex>& dispatch_table();
 
   void coordinator_grant_next();
 

@@ -7,29 +7,23 @@ namespace dmx::baselines {
 
 namespace {
 
-struct LpRequestMsg final : net::Payload {
+struct LpRequestMsg final : net::Msg<LpRequestMsg> {
+  DMX_REGISTER_MESSAGE(LpRequestMsg, "LP-REQUEST");
   std::uint64_t ts;
   explicit LpRequestMsg(std::uint64_t t) : ts(t) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "LP-REQUEST";
-  }
 };
 
-struct LpReplyMsg final : net::Payload {
+struct LpReplyMsg final : net::Msg<LpReplyMsg> {
+  DMX_REGISTER_MESSAGE(LpReplyMsg, "LP-REPLY");
   std::uint64_t ts;
   explicit LpReplyMsg(std::uint64_t t) : ts(t) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "LP-REPLY";
-  }
 };
 
-struct LpReleaseMsg final : net::Payload {
+struct LpReleaseMsg final : net::Msg<LpReleaseMsg> {
+  DMX_REGISTER_MESSAGE(LpReleaseMsg, "LP-RELEASE");
   std::uint64_t ts;
   std::uint64_t req_ts;
   LpReleaseMsg(std::uint64_t t, std::uint64_t rt) : ts(t), req_ts(rt) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "LP-RELEASE";
-  }
 };
 
 }  // namespace
@@ -69,32 +63,45 @@ void LamportMutex::try_enter() {
   grant(*pending_);
 }
 
+const runtime::MsgDispatcher<LamportMutex>& LamportMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<LamportMutex> t;
+    t.set(LpRequestMsg::message_kind(),
+          [](LamportMutex& self, const net::Envelope& env) {
+            const auto& req = static_cast<const LpRequestMsg&>(*env.payload);
+            self.bump_clock(req.ts);
+            auto& heard = self.last_heard_[env.src.index()];
+            heard = std::max(heard, req.ts);
+            self.queue_[{req.ts, env.src.value()}] = true;
+            self.send(env.src, net::make_payload<LpReplyMsg>(++self.clock_));
+            self.try_enter();
+          });
+    t.set(LpReplyMsg::message_kind(),
+          [](LamportMutex& self, const net::Envelope& env) {
+            const auto& rep = static_cast<const LpReplyMsg&>(*env.payload);
+            self.bump_clock(rep.ts);
+            auto& heard = self.last_heard_[env.src.index()];
+            heard = std::max(heard, rep.ts);
+            self.try_enter();
+          });
+    t.set(LpReleaseMsg::message_kind(),
+          [](LamportMutex& self, const net::Envelope& env) {
+            const auto& rel = static_cast<const LpReleaseMsg&>(*env.payload);
+            self.bump_clock(rel.ts);
+            auto& heard = self.last_heard_[env.src.index()];
+            heard = std::max(heard, rel.ts);
+            self.queue_.erase({rel.req_ts, env.src.value()});
+            self.try_enter();
+          });
+    return t;
+  }();
+  return kTable;
+}
+
 void LamportMutex::handle(const net::Envelope& env) {
-  if (const auto* req = env.as<LpRequestMsg>()) {
-    bump_clock(req->ts);
-    last_heard_[env.src.index()] =
-        std::max(last_heard_[env.src.index()], req->ts);
-    queue_[{req->ts, env.src.value()}] = true;
-    send(env.src, net::make_payload<LpReplyMsg>(++clock_));
-    try_enter();
-    return;
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("Lamport: unknown message");
   }
-  if (const auto* rep = env.as<LpReplyMsg>()) {
-    bump_clock(rep->ts);
-    last_heard_[env.src.index()] =
-        std::max(last_heard_[env.src.index()], rep->ts);
-    try_enter();
-    return;
-  }
-  if (const auto* rel = env.as<LpReleaseMsg>()) {
-    bump_clock(rel->ts);
-    last_heard_[env.src.index()] =
-        std::max(last_heard_[env.src.index()], rel->ts);
-    queue_.erase({rel->req_ts, env.src.value()});
-    try_enter();
-    return;
-  }
-  throw std::logic_error("Lamport: unknown message");
 }
 
 }  // namespace dmx::baselines

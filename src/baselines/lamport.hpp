@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -30,6 +31,9 @@ class LamportMutex final : public mutex::MutexAlgorithm {
   void handle(const net::Envelope& env) override;
 
  private:
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<LamportMutex>& dispatch_table();
+
   void try_enter();
   void bump_clock(std::uint64_t seen) {
     clock_ = std::max(clock_, seen) + 1;

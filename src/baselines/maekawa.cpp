@@ -8,37 +8,25 @@ namespace dmx::baselines {
 
 namespace {
 
-struct MkRequestMsg final : net::Payload {
+struct MkRequestMsg final : net::Msg<MkRequestMsg> {
+  DMX_REGISTER_MESSAGE(MkRequestMsg, "MK-REQUEST");
   std::uint64_t ts;
   explicit MkRequestMsg(std::uint64_t t) : ts(t) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "MK-REQUEST";
-  }
 };
-struct MkLockedMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "MK-LOCKED";
-  }
+struct MkLockedMsg final : net::Msg<MkLockedMsg> {
+  DMX_REGISTER_MESSAGE(MkLockedMsg, "MK-LOCKED");
 };
-struct MkFailedMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "MK-FAILED";
-  }
+struct MkFailedMsg final : net::Msg<MkFailedMsg> {
+  DMX_REGISTER_MESSAGE(MkFailedMsg, "MK-FAILED");
 };
-struct MkInquireMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "MK-INQUIRE";
-  }
+struct MkInquireMsg final : net::Msg<MkInquireMsg> {
+  DMX_REGISTER_MESSAGE(MkInquireMsg, "MK-INQUIRE");
 };
-struct MkYieldMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "MK-YIELD";
-  }
+struct MkYieldMsg final : net::Msg<MkYieldMsg> {
+  DMX_REGISTER_MESSAGE(MkYieldMsg, "MK-YIELD");
 };
-struct MkReleaseMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "MK-RELEASE";
-  }
+struct MkReleaseMsg final : net::Msg<MkReleaseMsg> {
+  DMX_REGISTER_MESSAGE(MkReleaseMsg, "MK-RELEASE");
 };
 
 }  // namespace
@@ -124,7 +112,14 @@ void MaekawaMutex::on_start() {
 
 void MaekawaMutex::dispatch(net::NodeId dst, const net::PayloadPtr& payload) {
   if (dst == id()) {
-    handle_payload(id(), *payload);
+    // Zero-latency self-delivery, bypassing the network (and its stats).
+    net::Envelope env;
+    env.src = id();
+    env.dst = id();
+    env.sent_at = now();
+    env.delivered_at = now();
+    env.payload = payload;
+    handle(env);
   } else {
     send(dst, payload);
   }
@@ -255,28 +250,44 @@ void MaekawaMutex::voter_on_yield(net::NodeId from) {
   }
 }
 
-void MaekawaMutex::handle_payload(net::NodeId src,
-                                  const net::Payload& payload) {
-  if (const auto* req = dynamic_cast<const MkRequestMsg*>(&payload)) {
-    clock_ = std::max(clock_, req->ts) + 1;
-    voter_on_request(src, req->ts);
-  } else if (dynamic_cast<const MkLockedMsg*>(&payload) != nullptr) {
-    requester_on_locked(src);
-  } else if (dynamic_cast<const MkFailedMsg*>(&payload) != nullptr) {
-    requester_on_failed(src);
-  } else if (dynamic_cast<const MkInquireMsg*>(&payload) != nullptr) {
-    requester_on_inquire(src);
-  } else if (dynamic_cast<const MkYieldMsg*>(&payload) != nullptr) {
-    voter_on_yield(src);
-  } else if (dynamic_cast<const MkReleaseMsg*>(&payload) != nullptr) {
-    voter_on_release(src);
-  } else {
-    throw std::logic_error("Maekawa: unknown message");
-  }
+const runtime::MsgDispatcher<MaekawaMutex>& MaekawaMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<MaekawaMutex> t;
+    t.set(MkRequestMsg::message_kind(),
+          [](MaekawaMutex& self, const net::Envelope& env) {
+            const auto& req = static_cast<const MkRequestMsg&>(*env.payload);
+            self.clock_ = std::max(self.clock_, req.ts) + 1;
+            self.voter_on_request(env.src, req.ts);
+          });
+    t.set(MkLockedMsg::message_kind(),
+          [](MaekawaMutex& self, const net::Envelope& env) {
+            self.requester_on_locked(env.src);
+          });
+    t.set(MkFailedMsg::message_kind(),
+          [](MaekawaMutex& self, const net::Envelope& env) {
+            self.requester_on_failed(env.src);
+          });
+    t.set(MkInquireMsg::message_kind(),
+          [](MaekawaMutex& self, const net::Envelope& env) {
+            self.requester_on_inquire(env.src);
+          });
+    t.set(MkYieldMsg::message_kind(),
+          [](MaekawaMutex& self, const net::Envelope& env) {
+            self.voter_on_yield(env.src);
+          });
+    t.set(MkReleaseMsg::message_kind(),
+          [](MaekawaMutex& self, const net::Envelope& env) {
+            self.voter_on_release(env.src);
+          });
+    return t;
+  }();
+  return kTable;
 }
 
 void MaekawaMutex::handle(const net::Envelope& env) {
-  handle_payload(env.src, *env.payload);
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("Maekawa: unknown message");
+  }
 }
 
 }  // namespace dmx::baselines

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -71,9 +72,12 @@ class MaekawaMutex final : public mutex::MutexAlgorithm {
   void voter_grant(Ticket t);
 
   /// Route a payload, short-circuiting self-delivery without network cost
-  /// (the standard accounting: a node does not message itself).
+  /// (the standard accounting: a node does not message itself).  Self-sends
+  /// go through handle() in a locally built envelope.
   void dispatch(net::NodeId dst, const net::PayloadPtr& payload);
-  void handle_payload(net::NodeId src, const net::Payload& payload);
+
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<MaekawaMutex>& dispatch_table();
 
   std::size_t n_;
   std::vector<std::vector<net::NodeId>> all_quorums_;

@@ -7,16 +7,12 @@ namespace dmx::baselines {
 
 namespace {
 
-struct RyRequestMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "RY-REQUEST";
-  }
+struct RyRequestMsg final : net::Msg<RyRequestMsg> {
+  DMX_REGISTER_MESSAGE(RyRequestMsg, "RY-REQUEST");
 };
 
-struct RyPrivilegeMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "RY-PRIVILEGE";
-  }
+struct RyPrivilegeMsg final : net::Msg<RyPrivilegeMsg> {
+  DMX_REGISTER_MESSAGE(RyPrivilegeMsg, "RY-PRIVILEGE");
 };
 
 }  // namespace
@@ -71,26 +67,36 @@ void RaymondMutex::release() {
   make_request();
 }
 
+const runtime::MsgDispatcher<RaymondMutex>& RaymondMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<RaymondMutex> t;
+    t.set(RyRequestMsg::message_kind(),
+          [](RaymondMutex& self, const net::Envelope& env) {
+            // Queue the requesting neighbour at most once (the asked_ flag on
+            // their side should already guarantee this).
+            if (std::find(self.request_q_.begin(), self.request_q_.end(),
+                          env.src.value()) == self.request_q_.end()) {
+              self.request_q_.push_back(env.src.value());
+            }
+            self.assign_privilege();
+            self.make_request();
+          });
+    t.set(RyPrivilegeMsg::message_kind(),
+          [](RaymondMutex& self, const net::Envelope&) {
+            self.holder_self_ = true;
+            self.asked_ = false;
+            self.assign_privilege();
+            self.make_request();
+          });
+    return t;
+  }();
+  return kTable;
+}
+
 void RaymondMutex::handle(const net::Envelope& env) {
-  if (env.as<RyRequestMsg>() != nullptr) {
-    // Queue the requesting neighbour at most once (the asked_ flag on their
-    // side should already guarantee this).
-    if (std::find(request_q_.begin(), request_q_.end(), env.src.value()) ==
-        request_q_.end()) {
-      request_q_.push_back(env.src.value());
-    }
-    assign_privilege();
-    make_request();
-    return;
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("Raymond: unknown message");
   }
-  if (env.as<RyPrivilegeMsg>() != nullptr) {
-    holder_self_ = true;
-    asked_ = false;
-    assign_privilege();
-    make_request();
-    return;
-  }
-  throw std::logic_error("Raymond: unknown message");
 }
 
 }  // namespace dmx::baselines

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -44,6 +45,9 @@ class RaymondMutex final : public mutex::MutexAlgorithm {
 
  private:
   static constexpr std::int32_t kSelf = -2;  ///< Sentinel in request_q_.
+
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<RaymondMutex>& dispatch_table();
 
   void assign_privilege();
   void make_request();

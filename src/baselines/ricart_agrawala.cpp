@@ -7,18 +7,14 @@ namespace dmx::baselines {
 
 namespace {
 
-struct RaRequestMsg final : net::Payload {
+struct RaRequestMsg final : net::Msg<RaRequestMsg> {
+  DMX_REGISTER_MESSAGE(RaRequestMsg, "RA-REQUEST");
   std::uint64_t ts;
   explicit RaRequestMsg(std::uint64_t t) : ts(t) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "RA-REQUEST";
-  }
 };
 
-struct RaReplyMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "RA-REPLY";
-  }
+struct RaReplyMsg final : net::Msg<RaReplyMsg> {
+  DMX_REGISTER_MESSAGE(RaReplyMsg, "RA-REPLY");
 };
 
 }  // namespace
@@ -61,28 +57,42 @@ void RicartAgrawalaMutex::release() {
   }
 }
 
+const runtime::MsgDispatcher<RicartAgrawalaMutex>&
+RicartAgrawalaMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<RicartAgrawalaMutex> t;
+    t.set(RaRequestMsg::message_kind(),
+          [](RicartAgrawalaMutex& self, const net::Envelope& env) {
+            const auto& req = static_cast<const RaRequestMsg&>(*env.payload);
+            self.clock_ = std::max(self.clock_, req.ts) + 1;
+            const bool defer =
+                self.in_cs_ ||
+                (self.requesting_ && !self.they_win(req.ts, env.src));
+            if (defer) {
+              self.deferred_[env.src.index()] = true;
+            } else {
+              self.send(env.src, net::make_payload<RaReplyMsg>());
+            }
+          });
+    t.set(RaReplyMsg::message_kind(),
+          [](RicartAgrawalaMutex& self, const net::Envelope&) {
+            if (self.requesting_ && !self.in_cs_ &&
+                self.replies_needed_ > 0) {
+              if (--self.replies_needed_ == 0) {
+                self.in_cs_ = true;
+                self.grant(*self.pending_);
+              }
+            }
+          });
+    return t;
+  }();
+  return kTable;
+}
+
 void RicartAgrawalaMutex::handle(const net::Envelope& env) {
-  if (const auto* req = env.as<RaRequestMsg>()) {
-    clock_ = std::max(clock_, req->ts) + 1;
-    const bool defer =
-        in_cs_ || (requesting_ && !they_win(req->ts, env.src));
-    if (defer) {
-      deferred_[env.src.index()] = true;
-    } else {
-      send(env.src, net::make_payload<RaReplyMsg>());
-    }
-    return;
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("RicartAgrawala: unknown message");
   }
-  if (env.as<RaReplyMsg>() != nullptr) {
-    if (requesting_ && !in_cs_ && replies_needed_ > 0) {
-      if (--replies_needed_ == 0) {
-        in_cs_ = true;
-        grant(*pending_);
-      }
-    }
-    return;
-  }
-  throw std::logic_error("RicartAgrawala: unknown message");
 }
 
 }  // namespace dmx::baselines

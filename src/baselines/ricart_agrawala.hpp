@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -29,6 +30,9 @@ class RicartAgrawalaMutex final : public mutex::MutexAlgorithm {
   void handle(const net::Envelope& env) override;
 
  private:
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<RicartAgrawalaMutex>& dispatch_table();
+
   /// True if (their_ts, their_id) has priority over our outstanding request.
   [[nodiscard]] bool they_win(std::uint64_t their_ts, net::NodeId them) const;
 

@@ -7,18 +7,14 @@ namespace dmx::baselines {
 
 namespace {
 
-struct SgRequestMsg final : net::Payload {
+struct SgRequestMsg final : net::Msg<SgRequestMsg> {
+  DMX_REGISTER_MESSAGE(SgRequestMsg, "SG-REQUEST");
   std::uint64_t sn;
   explicit SgRequestMsg(std::uint64_t s) : sn(s) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "SG-REQUEST";
-  }
 };
 
-struct SgReplyMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override {
-    return "SG-REPLY";
-  }
+struct SgReplyMsg final : net::Msg<SgReplyMsg> {
+  DMX_REGISTER_MESSAGE(SgReplyMsg, "SG-REPLY");
 };
 
 }  // namespace
@@ -84,47 +80,62 @@ void SinghalDynamicMutex::release() {
   deferred_.clear();
 }
 
+const runtime::MsgDispatcher<SinghalDynamicMutex>&
+SinghalDynamicMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<SinghalDynamicMutex> t;
+    t.set(SgRequestMsg::message_kind(),
+          [](SinghalDynamicMutex& self, const net::Envelope& env) {
+            const auto& req = static_cast<const SgRequestMsg&>(*env.payload);
+            auto& sn = self.sn_[env.src.index()];
+            sn = std::max(sn, req.sn);
+            switch (self.sv_[self.id().index()]) {
+              case SiteState::kExecuting:
+                self.sv_[env.src.index()] = SiteState::kRequesting;
+                self.deferred_.insert(env.src);
+                break;
+              case SiteState::kRequesting:
+                if (self.they_win(req.sn, env.src)) {
+                  self.sv_[env.src.index()] = SiteState::kRequesting;
+                  self.send(env.src, net::make_payload<SgReplyMsg>());
+                  // We had not asked them (they were believed idle); we now
+                  // need their permission before entering.
+                  if (!self.awaiting_.contains(env.src)) {
+                    self.awaiting_.insert(env.src);
+                    self.send(env.src,
+                              net::make_payload<SgRequestMsg>(self.my_sn_));
+                  }
+                } else {
+                  self.sv_[env.src.index()] = SiteState::kRequesting;
+                  self.deferred_.insert(env.src);
+                }
+                break;
+              case SiteState::kNone:
+                self.sv_[env.src.index()] = SiteState::kRequesting;
+                self.send(env.src, net::make_payload<SgReplyMsg>());
+                break;
+            }
+          });
+    t.set(SgReplyMsg::message_kind(),
+          [](SinghalDynamicMutex& self, const net::Envelope& env) {
+            // A reply means the sender is not ahead of us any more; unless a
+            // newer REQUEST from it is in flight (processed later), it is
+            // idle.
+            if (!self.deferred_.contains(env.src)) {
+              self.sv_[env.src.index()] = SiteState::kNone;
+            }
+            self.awaiting_.erase(env.src);
+            self.try_enter();
+          });
+    return t;
+  }();
+  return kTable;
+}
+
 void SinghalDynamicMutex::handle(const net::Envelope& env) {
-  if (const auto* req = env.as<SgRequestMsg>()) {
-    sn_[env.src.index()] = std::max(sn_[env.src.index()], req->sn);
-    switch (sv_[id().index()]) {
-      case SiteState::kExecuting:
-        sv_[env.src.index()] = SiteState::kRequesting;
-        deferred_.insert(env.src);
-        break;
-      case SiteState::kRequesting:
-        if (they_win(req->sn, env.src)) {
-          sv_[env.src.index()] = SiteState::kRequesting;
-          send(env.src, net::make_payload<SgReplyMsg>());
-          // We had not asked them (they were believed idle); we now need
-          // their permission before entering.
-          if (!awaiting_.contains(env.src)) {
-            awaiting_.insert(env.src);
-            send(env.src, net::make_payload<SgRequestMsg>(my_sn_));
-          }
-        } else {
-          sv_[env.src.index()] = SiteState::kRequesting;
-          deferred_.insert(env.src);
-        }
-        break;
-      case SiteState::kNone:
-        sv_[env.src.index()] = SiteState::kRequesting;
-        send(env.src, net::make_payload<SgReplyMsg>());
-        break;
-    }
-    return;
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("Singhal: unknown message");
   }
-  if (env.as<SgReplyMsg>() != nullptr) {
-    // A reply means the sender is not ahead of us any more; unless a newer
-    // REQUEST from it is in flight (processed later), it is idle.
-    if (!deferred_.contains(env.src)) {
-      sv_[env.src.index()] = SiteState::kNone;
-    }
-    awaiting_.erase(env.src);
-    try_enter();
-    return;
-  }
-  throw std::logic_error("Singhal: unknown message");
 }
 
 }  // namespace dmx::baselines

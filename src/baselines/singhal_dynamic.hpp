@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -37,6 +38,9 @@ class SinghalDynamicMutex final : public mutex::MutexAlgorithm {
 
  private:
   enum class SiteState : std::uint8_t { kNone, kRequesting, kExecuting };
+
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<SinghalDynamicMutex>& dispatch_table();
 
   /// True if (their_sn, their_id) has priority over our pending request.
   [[nodiscard]] bool they_win(std::uint64_t their_sn, net::NodeId them) const;

@@ -7,21 +7,17 @@ namespace dmx::baselines {
 
 namespace {
 
-struct SkRequestMsg final : net::Payload {
+struct SkRequestMsg final : net::Msg<SkRequestMsg> {
+  DMX_REGISTER_MESSAGE(SkRequestMsg, "SK-REQUEST");
   net::NodeId node;
   std::uint64_t n;
   SkRequestMsg(net::NodeId j, std::uint64_t seq) : node(j), n(seq) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "SK-REQUEST";
-  }
 };
 
-struct SkTokenMsg final : net::Payload {
+struct SkTokenMsg final : net::Msg<SkTokenMsg> {
+  DMX_REGISTER_MESSAGE(SkTokenMsg, "SK-TOKEN");
   std::vector<std::uint64_t> ln;
   std::deque<net::NodeId> queue;
-  [[nodiscard]] std::string_view type_name() const override {
-    return "SK-TOKEN";
-  }
   [[nodiscard]] std::size_t size_hint() const override {
     return ln.size() * 8 + queue.size() * 4;
   }
@@ -87,30 +83,44 @@ void SuzukiKasamiMutex::try_pass_token() {
   send(next, std::move(tok));
 }
 
+const runtime::MsgDispatcher<SuzukiKasamiMutex>&
+SuzukiKasamiMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<SuzukiKasamiMutex> t;
+    t.set(SkRequestMsg::message_kind(),
+          [](SuzukiKasamiMutex& self, const net::Envelope& env) {
+            const auto& req = static_cast<const SkRequestMsg&>(*env.payload);
+            auto& rn = self.rn_[req.node.index()];
+            rn = std::max(rn, req.n);
+            if (self.have_token_ && !self.in_cs_ &&
+                rn == self.ln_[req.node.index()] + 1) {
+              self.token_queue_.push_back(req.node);
+              self.try_pass_token();
+            }
+          });
+    t.set(SkTokenMsg::message_kind(),
+          [](SuzukiKasamiMutex& self, const net::Envelope& env) {
+            const auto& tok = static_cast<const SkTokenMsg&>(*env.payload);
+            self.have_token_ = true;
+            self.ln_ = tok.ln;
+            self.token_queue_ = tok.queue;
+            if (self.pending_.has_value() && !self.in_cs_) {
+              self.in_cs_ = true;
+              self.grant(*self.pending_);
+            } else {
+              // Spurious token arrival (cannot normally happen): pass it on.
+              self.try_pass_token();
+            }
+          });
+    return t;
+  }();
+  return kTable;
+}
+
 void SuzukiKasamiMutex::handle(const net::Envelope& env) {
-  if (const auto* req = env.as<SkRequestMsg>()) {
-    rn_[req->node.index()] = std::max(rn_[req->node.index()], req->n);
-    if (have_token_ && !in_cs_ &&
-        rn_[req->node.index()] == ln_[req->node.index()] + 1) {
-      token_queue_.push_back(req->node);
-      try_pass_token();
-    }
-    return;
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("SuzukiKasami: unknown message");
   }
-  if (const auto* tok = env.as<SkTokenMsg>()) {
-    have_token_ = true;
-    ln_ = tok->ln;
-    token_queue_ = tok->queue;
-    if (pending_.has_value() && !in_cs_) {
-      in_cs_ = true;
-      grant(*pending_);
-    } else {
-      // Spurious token arrival (cannot normally happen): pass it on.
-      try_pass_token();
-    }
-    return;
-  }
-  throw std::logic_error("SuzukiKasami: unknown message");
 }
 
 }  // namespace dmx::baselines

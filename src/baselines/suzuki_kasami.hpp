@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -33,6 +34,9 @@ class SuzukiKasamiMutex final : public mutex::MutexAlgorithm {
   void handle(const net::Envelope& env) override;
 
  private:
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<SuzukiKasamiMutex>& dispatch_table();
+
   void try_pass_token();
 
   net::NodeId initial_holder_;

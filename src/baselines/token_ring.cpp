@@ -6,21 +6,17 @@ namespace dmx::baselines {
 
 namespace {
 
-struct RingTokenMsg final : net::Payload {
+struct RingTokenMsg final : net::Msg<RingTokenMsg> {
+  DMX_REGISTER_MESSAGE(RingTokenMsg, "RING-TOKEN");
   std::uint32_t idle_hops;  ///< Consecutive hops without serving a CS.
   explicit RingTokenMsg(std::uint32_t h) : idle_hops(h) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "RING-TOKEN";
-  }
 };
 
 /// Travels the ring looking for a parked token.
-struct RingWakeupMsg final : net::Payload {
+struct RingWakeupMsg final : net::Msg<RingWakeupMsg> {
+  DMX_REGISTER_MESSAGE(RingWakeupMsg, "RING-WAKEUP");
   std::uint32_t hops;
   explicit RingWakeupMsg(std::uint32_t h) : hops(h) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "RING-WAKEUP";
-  }
 };
 
 }  // namespace
@@ -99,25 +95,40 @@ void TokenRingMutex::token_arrived(std::uint32_t idle_hops) {
       set_timer(hop_dwell_, [this, idle_hops] { pass_token(idle_hops + 1); });
 }
 
+const runtime::MsgDispatcher<TokenRingMutex>&
+TokenRingMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<TokenRingMutex> t;
+    t.set(RingTokenMsg::message_kind(),
+          [](TokenRingMutex& self, const net::Envelope& env) {
+            const auto& tok = static_cast<const RingTokenMsg&>(*env.payload);
+            self.token_arrived(tok.idle_hops);
+          });
+    t.set(RingWakeupMsg::message_kind(),
+          [](TokenRingMutex& self, const net::Envelope& env) {
+            const auto& wake =
+                static_cast<const RingWakeupMsg&>(*env.payload);
+            if (self.have_token_) {
+              if (self.parked_ && !self.in_cs_) {
+                self.parked_ = false;
+                self.pass_token(0);  // resume circulation toward the requester
+              }
+              return;  // the token is moving or busy: the wakeup is moot
+            }
+            if (wake.hops + 1 < self.n_) {
+              self.send(self.next_node(),
+                        net::make_payload<RingWakeupMsg>(wake.hops + 1));
+            }
+          });
+    return t;
+  }();
+  return kTable;
+}
+
 void TokenRingMutex::handle(const net::Envelope& env) {
-  if (const auto* tok = env.as<RingTokenMsg>()) {
-    token_arrived(tok->idle_hops);
-    return;
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("TokenRing: unknown message");
   }
-  if (const auto* wake = env.as<RingWakeupMsg>()) {
-    if (have_token_) {
-      if (parked_ && !in_cs_) {
-        parked_ = false;
-        pass_token(0);  // resume circulation toward the requester
-      }
-      return;  // the token is moving or busy: the wakeup is moot
-    }
-    if (wake->hops + 1 < n_) {
-      send(next_node(), net::make_payload<RingWakeupMsg>(wake->hops + 1));
-    }
-    return;
-  }
-  throw std::logic_error("TokenRing: unknown message");
 }
 
 }  // namespace dmx::baselines

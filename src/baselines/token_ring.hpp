@@ -18,6 +18,7 @@
 #include <optional>
 
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 
 namespace dmx::baselines {
 
@@ -40,6 +41,9 @@ class TokenRingMutex final : public mutex::MutexAlgorithm {
   void handle(const net::Envelope& env) override;
 
  private:
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<TokenRingMutex>& dispatch_table();
+
   [[nodiscard]] net::NodeId next_node() const {
     return net::NodeId{
         static_cast<std::int32_t>((id().index() + 1) % n_)};

@@ -193,38 +193,45 @@ void ArbiterMutex::release() {
 // Message dispatch
 // ---------------------------------------------------------------------------
 
+const runtime::MsgDispatcher<ArbiterMutex>& ArbiterMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<ArbiterMutex> t;
+    t.on<&ArbiterMutex::on_request>()
+        .on<&ArbiterMutex::on_privilege>()
+        .on<&ArbiterMutex::on_new_arbiter>()
+        .on<&ArbiterMutex::on_warning>()
+        .on<&ArbiterMutex::on_enquiry>()
+        .on<&ArbiterMutex::on_enquiry_reply>()
+        .on<&ArbiterMutex::on_resume>()
+        .on<&ArbiterMutex::on_invalidate>()
+        .on<&ArbiterMutex::on_probe>()
+        .on<&ArbiterMutex::on_probe_reply>();
+    return t;
+  }();
+  return kTable;
+}
+
 void ArbiterMutex::handle(const net::Envelope& env) {
-  if (const auto* req = env.as<RequestMsg>()) {
-    on_request(env, *req);
-  } else if (const auto* priv = env.as<PrivilegeMsg>()) {
-    on_privilege(env, *priv);
-  } else if (const auto* na = env.as<NewArbiterMsg>()) {
-    on_new_arbiter(env, *na);
-  } else if (const auto* warn = env.as<WarningMsg>()) {
-    on_warning(env, *warn);
-  } else if (const auto* enq = env.as<EnquiryMsg>()) {
-    on_enquiry(env, *enq);
-  } else if (const auto* rep = env.as<EnquiryReplyMsg>()) {
-    on_enquiry_reply(env, *rep);
-  } else if (const auto* res = env.as<ResumeMsg>()) {
-    on_resume(env, *res);
-  } else if (const auto* inv = env.as<InvalidateMsg>()) {
-    on_invalidate(env, *inv);
-  } else if (env.as<ProbeMsg>() != nullptr) {
-    send(env.src, net::make_payload<ProbeReplyMsg>(is_arbiter_));
-  } else if (const auto* pr = env.as<ProbeReplyMsg>()) {
-    cancel_timer(probe_timer_);
-    if (pr->is_arbiter || is_arbiter_ || arbiter_ != env.src) {
-      // The successor is alive and on duty (it may simply have no demand to
-      // dispatch yet): the hand-off window is confirmed and the watchdog's
-      // job is done.  Not re-arming also lets an idle system go quiet.
-    } else {
-      // The successor is alive but never learned it was elected (its
-      // NEW-ARBITER was lost): arbitership is orphaned — take over.
-      takeover_arbitership();
-    }
-  } else {
+  if (!dispatch_table().dispatch(*this, env)) {
     throw std::logic_error("ArbiterMutex: unknown message type");
+  }
+}
+
+void ArbiterMutex::on_probe(const net::Envelope& env, const ProbeMsg&) {
+  send(env.src, net::make_payload<ProbeReplyMsg>(is_arbiter_));
+}
+
+void ArbiterMutex::on_probe_reply(const net::Envelope& env,
+                                  const ProbeReplyMsg& msg) {
+  cancel_timer(probe_timer_);
+  if (msg.is_arbiter || is_arbiter_ || arbiter_ != env.src) {
+    // The successor is alive and on duty (it may simply have no demand to
+    // dispatch yet): the hand-off window is confirmed and the watchdog's
+    // job is done.  Not re-arming also lets an idle system go quiet.
+  } else {
+    // The successor is alive but never learned it was elected (its
+    // NEW-ARBITER was lost): arbitership is orphaned — take over.
+    takeover_arbitership();
   }
 }
 

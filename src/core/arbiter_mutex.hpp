@@ -29,6 +29,7 @@
 #include "core/params.hpp"
 #include "core/q_list.hpp"
 #include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
 #include "stats/moving_window.hpp"
 
 namespace dmx::core {
@@ -98,7 +99,7 @@ class ArbiterMutex final : public mutex::MutexAlgorithm {
   enum class ArbiterPhase { kNone, kAwaitingToken, kIdleWithToken, kWindow };
   enum class PendingState { kNone, kSent, kScheduled, kInCs };
 
-  // Message handlers.
+  // Message handlers, dispatched by kind through dispatch_table().
   void on_request(const net::Envelope& env, const RequestMsg& msg);
   void on_privilege(const net::Envelope& env, const PrivilegeMsg& msg);
   void on_new_arbiter(const net::Envelope& env, const NewArbiterMsg& msg);
@@ -107,6 +108,10 @@ class ArbiterMutex final : public mutex::MutexAlgorithm {
   void on_enquiry_reply(const net::Envelope& env, const EnquiryReplyMsg& msg);
   void on_resume(const net::Envelope& env, const ResumeMsg& msg);
   void on_invalidate(const net::Envelope& env, const InvalidateMsg& msg);
+  void on_probe(const net::Envelope& env, const ProbeMsg& msg);
+  void on_probe_reply(const net::Envelope& env, const ProbeReplyMsg& msg);
+
+  static const runtime::MsgDispatcher<ArbiterMutex>& dispatch_table();
 
   // Arbiter plane.
   void become_arbiter(net::NodeId prev_arbiter, QList last_batch);

@@ -18,7 +18,9 @@
 namespace dmx::core {
 
 /// REQUEST(j[, n]): node j asks for its n-th critical section.
-struct RequestMsg final : net::Payload {
+struct RequestMsg final : net::Msg<RequestMsg> {
+  DMX_REGISTER_MESSAGE(RequestMsg, "REQUEST");
+
   QEntry entry;
   bool to_monitor = false;    ///< §4.1 resubmission: buffer at the monitor.
   bool from_monitor = false;  ///< Monitor releases are never dropped (§4.1).
@@ -26,9 +28,6 @@ struct RequestMsg final : net::Payload {
   explicit RequestMsg(QEntry e, bool to_mon = false, bool from_mon = false)
       : entry(e), to_monitor(to_mon), from_monitor(from_mon) {}
 
-  [[nodiscard]] std::string_view type_name() const override {
-    return "REQUEST";
-  }
   [[nodiscard]] std::string describe() const override {
     return "REQUEST(node=" + std::to_string(entry.node.value()) +
            ", seq=" + std::to_string(entry.sequence) +
@@ -38,15 +37,14 @@ struct RequestMsg final : net::Payload {
 
 /// PRIVILEGE(Q[, L]): the token.  L (sequenced variant, §2.4) holds the
 /// sequence number of the last granted request per node.
-struct PrivilegeMsg final : net::Payload {
+struct PrivilegeMsg final : net::Msg<PrivilegeMsg> {
+  DMX_REGISTER_MESSAGE(PrivilegeMsg, "PRIVILEGE");
+
   QList q;
   std::vector<std::uint64_t> last_granted;  ///< Empty unless sequenced mode.
   std::uint64_t epoch = 0;  ///< Token generation; bumped on regeneration (§6).
   bool via_monitor = false;  ///< True when routed to the monitor node (§4.1).
 
-  [[nodiscard]] std::string_view type_name() const override {
-    return "PRIVILEGE";
-  }
   [[nodiscard]] std::string describe() const override {
     return "PRIVILEGE(Q=" + q_to_string(q) +
            ", epoch=" + std::to_string(epoch) + ")";
@@ -59,16 +57,15 @@ struct PrivilegeMsg final : net::Payload {
 /// NEW-ARBITER(j): node j is the new arbiter.  Carries the scheduled Q-list
 /// (it doubles as the implicit acknowledgment of scheduled requests, §6) and
 /// the starvation-free variant's dispatch counter + monitor identity.
-struct NewArbiterMsg final : net::Payload {
+struct NewArbiterMsg final : net::Msg<NewArbiterMsg> {
+  DMX_REGISTER_MESSAGE(NewArbiterMsg, "NEW-ARBITER");
+
   net::NodeId new_arbiter;
   QList q;                   ///< The batch just scheduled (token's Q-list).
   std::uint32_t counter = 0; ///< Dispatches since the last monitor visit.
   net::NodeId monitor;       ///< Current monitor (rotating-monitor extension).
   std::uint64_t epoch = 0;
 
-  [[nodiscard]] std::string_view type_name() const override {
-    return "NEW-ARBITER";
-  }
   [[nodiscard]] std::string describe() const override {
     return "NEW-ARBITER(" + std::to_string(new_arbiter.value()) +
            ", Q=" + q_to_string(q) + ", c=" + std::to_string(counter) + ")";
@@ -81,20 +78,18 @@ struct NewArbiterMsg final : net::Payload {
 // --- §6 failure recovery ----------------------------------------------------
 
 /// A scheduled node timed out waiting for the token.
-struct WarningMsg final : net::Payload {
+struct WarningMsg final : net::Msg<WarningMsg> {
+  DMX_REGISTER_MESSAGE(WarningMsg, "WARNING");
+
   std::uint64_t request_id = 0;
-  [[nodiscard]] std::string_view type_name() const override {
-    return "WARNING";
-  }
 };
 
 /// Phase 1 of token invalidation: the arbiter asks Q-list members about the
 /// token's whereabouts.
-struct EnquiryMsg final : net::Payload {
+struct EnquiryMsg final : net::Msg<EnquiryMsg> {
+  DMX_REGISTER_MESSAGE(EnquiryMsg, "ENQUIRY");
+
   std::uint64_t round = 0;  ///< Matches replies to the arbiter's round.
-  [[nodiscard]] std::string_view type_name() const override {
-    return "ENQUIRY";
-  }
 };
 
 enum class TokenStatus : std::uint8_t {
@@ -103,14 +98,14 @@ enum class TokenStatus : std::uint8_t {
   kWaiting,            ///< "I am waiting for the token."
 };
 
-struct EnquiryReplyMsg final : net::Payload {
+struct EnquiryReplyMsg final : net::Msg<EnquiryReplyMsg> {
+  DMX_REGISTER_MESSAGE(EnquiryReplyMsg, "ENQUIRY-REPLY");
+
   std::uint64_t round = 0;
   TokenStatus status = TokenStatus::kWaiting;
   QEntry entry;  ///< The replier's pending request when status is kWaiting,
                  ///< so the arbiter can rebuild the regenerated Q-list.
-  [[nodiscard]] std::string_view type_name() const override {
-    return "ENQUIRY-REPLY";
-  }
+
   [[nodiscard]] std::string describe() const override {
     static constexpr std::array<const char*, 3> kNames = {
         "executed-and-passed", "have-token", "waiting"};
@@ -120,35 +115,34 @@ struct EnquiryReplyMsg final : net::Payload {
 };
 
 /// Phase 2, token found: normal operation resumes.
-struct ResumeMsg final : net::Payload {
+struct ResumeMsg final : net::Msg<ResumeMsg> {
+  DMX_REGISTER_MESSAGE(ResumeMsg, "RESUME");
+
   std::uint64_t round = 0;
-  [[nodiscard]] std::string_view type_name() const override { return "RESUME"; }
 };
 
 /// Phase 2, token lost: outstanding PRIVILEGE expectations are void; the
 /// arbiter regenerates the token under a higher epoch.
-struct InvalidateMsg final : net::Payload {
+struct InvalidateMsg final : net::Msg<InvalidateMsg> {
+  DMX_REGISTER_MESSAGE(InvalidateMsg, "INVALIDATE");
+
   std::uint64_t round = 0;
   std::uint64_t new_epoch = 0;
-  [[nodiscard]] std::string_view type_name() const override {
-    return "INVALIDATE";
-  }
 };
 
 /// Previous arbiter probing a silent current arbiter.
-struct ProbeMsg final : net::Payload {
-  [[nodiscard]] std::string_view type_name() const override { return "PROBE"; }
+struct ProbeMsg final : net::Msg<ProbeMsg> {
+  DMX_REGISTER_MESSAGE(ProbeMsg, "PROBE");
 };
 
-struct ProbeReplyMsg final : net::Payload {
+struct ProbeReplyMsg final : net::Msg<ProbeReplyMsg> {
+  DMX_REGISTER_MESSAGE(ProbeReplyMsg, "PROBE-REPLY");
+
   /// Whether the probed node actually considers itself the arbiter.  A
   /// successor that never received the NEW-ARBITER electing it is alive but
   /// not collecting; the prober must take over rather than probe forever.
   bool is_arbiter = false;
   explicit ProbeReplyMsg(bool arb) : is_arbiter(arb) {}
-  [[nodiscard]] std::string_view type_name() const override {
-    return "PROBE-REPLY";
-  }
 };
 
 }  // namespace dmx::core

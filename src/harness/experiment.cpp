@@ -7,6 +7,7 @@
 #include "mutex/registry.hpp"
 #include "mutex/safety_monitor.hpp"
 #include "net/delay_model.hpp"
+#include "net/msg_kind.hpp"
 #include "runtime/cluster.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
@@ -51,6 +52,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   runtime::Cluster cluster(cfg.n_nodes, make_delay(cfg), cfg.seed ^ 0x5eedULL);
   for (const auto& [type, p] : cfg.loss_by_type) {
+    // Every shipped message type registers its kind during static
+    // initialization, so an unknown name here is a configuration typo (e.g.
+    // --loss PRIVILEDGE=0.1) that would otherwise silently never match.
+    if (!net::MsgKindRegistry::instance().find(type).valid()) {
+      throw std::invalid_argument(
+          "run_experiment: loss_by_type names unregistered message type \"" +
+          type + "\"");
+    }
     cluster.network().faults().set_loss_probability(type, p);
   }
 
@@ -116,7 +125,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   const auto& net_stats = cluster.network().stats();
   r.messages_total = net_stats.sent;
-  for (const auto& [type, count] : net_stats.sent_by_type.entries()) {
+  const stats::CounterMap by_type = net_stats.sent_by_type();
+  for (const auto& [type, count] : by_type.entries()) {
     r.messages_by_type[type] = count;
   }
   r.messages_per_cs =

@@ -11,12 +11,23 @@ void FaultInjector::set_loss_probability(double p) {
   global_loss_ = p;
 }
 
-void FaultInjector::set_loss_probability(const std::string& type_name,
-                                         double p) {
+void FaultInjector::set_loss_probability(MsgKind kind, double p) {
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("loss probability must be in [0,1]");
   }
-  per_type_loss_[type_name] = p;
+  if (!kind.valid()) {
+    throw std::invalid_argument("loss probability for invalid message kind");
+  }
+  if (kind.index() >= per_kind_loss_.size()) {
+    per_kind_loss_.resize(kind.index() + 1, kUnsetLoss);
+  }
+  per_kind_loss_[kind.index()] = p;
+  any_per_kind_loss_ = true;
+}
+
+void FaultInjector::set_loss_probability(std::string_view type_name,
+                                         double p) {
+  set_loss_probability(MsgKindRegistry::instance().intern(type_name), p);
 }
 
 std::uint64_t FaultInjector::drop_next(Predicate pred) {
@@ -36,15 +47,20 @@ bool FaultInjector::cancel_one_shot(std::uint64_t id) {
   return false;
 }
 
-std::uint64_t FaultInjector::drop_next_of_type(std::string type_name,
-                                               NodeId src, NodeId dst) {
-  return drop_next([type_name = std::move(type_name), src,
-                    dst](const Envelope& env) {
-    if (env.payload->type_name() != type_name) return false;
+std::uint64_t FaultInjector::drop_next_of_kind(MsgKind kind, NodeId src,
+                                               NodeId dst) {
+  return drop_next([kind, src, dst](const Envelope& env) {
+    if (env.payload->kind() != kind) return false;
     if (src.valid() && env.src != src) return false;
     if (dst.valid() && env.dst != dst) return false;
     return true;
   });
+}
+
+std::uint64_t FaultInjector::drop_next_of_type(std::string_view type_name,
+                                               NodeId src, NodeId dst) {
+  return drop_next_of_kind(MsgKindRegistry::instance().intern(type_name), src,
+                           dst);
 }
 
 void FaultInjector::set_node_down(NodeId node, bool down) {
@@ -87,9 +103,11 @@ bool FaultInjector::should_drop(const Envelope& env, sim::Rng& rng) {
     }
   }
   double p = global_loss_;
-  if (!per_type_loss_.empty()) {
-    auto it = per_type_loss_.find(std::string(env.payload->type_name()));
-    if (it != per_type_loss_.end()) p = it->second;
+  if (any_per_kind_loss_) {
+    const std::size_t i = env.payload->kind().index();
+    if (i < per_kind_loss_.size() && per_kind_loss_[i] >= 0.0) {
+      p = per_kind_loss_[i];
+    }
   }
   if (p > 0.0 && rng.chance(p)) {
     ++dropped_;

@@ -2,18 +2,26 @@
 //
 // Section 6 of the paper analyses lost requests, lost tokens, crashed token
 // holders and crashed arbiters.  The injector lets experiments create exactly
-// those situations: probabilistic message loss (global or per message type),
+// those situations: probabilistic message loss (global or per message kind),
 // one-shot targeted drops ("drop the next PRIVILEGE message"), network
 // partitions, and downed nodes (fail-silent: nothing in or out).
+//
+// Per-type loss is stored as a kind-indexed table: the per-send fate check
+// is one vector index, not a string hash.  String-keyed configuration APIs
+// remain (they are the stable public vocabulary) and intern the name into
+// the message-kind registry, so configuring a type before its first message
+// is constructed still matches later traffic.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "net/msg_kind.hpp"
 #include "net/payload.hpp"
 #include "sim/rng.hpp"
 
@@ -26,8 +34,14 @@ class FaultInjector {
   /// Probability in [0,1] that any message is silently dropped.
   void set_loss_probability(double p);
 
-  /// Per-message-type loss probability (overrides the global one).
-  void set_loss_probability(const std::string& type_name, double p);
+  /// Per-message-kind loss probability (overrides the global one).
+  void set_loss_probability(MsgKind kind, double p);
+
+  /// Per-message-type loss probability, by name.  Interns the name: the
+  /// configuration matches even if the payload type registers later.  Callers
+  /// that want typo detection should check MsgKindRegistry::find() first (the
+  /// experiment harness does).
+  void set_loss_probability(std::string_view type_name, double p);
 
   /// Register a predicate that drops the first matching message, then
   /// retires.  Returns an id usable with cancel_one_shot.
@@ -36,8 +50,10 @@ class FaultInjector {
 
   /// Convenience: drop the next message of the given payload type
   /// (optionally restricted to a src and/or dst).
-  std::uint64_t drop_next_of_type(std::string type_name,
+  std::uint64_t drop_next_of_type(std::string_view type_name,
                                   NodeId src = NodeId{},
+                                  NodeId dst = NodeId{});
+  std::uint64_t drop_next_of_kind(MsgKind kind, NodeId src = NodeId{},
                                   NodeId dst = NodeId{});
 
   /// Mark a node as down (fail-silent) / back up.
@@ -58,8 +74,11 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
 
  private:
+  static constexpr double kUnsetLoss = -1.0;
+
   double global_loss_ = 0.0;
-  std::unordered_map<std::string, double> per_type_loss_;
+  std::vector<double> per_kind_loss_;  ///< kind index -> p; kUnsetLoss = none.
+  bool any_per_kind_loss_ = false;
   struct OneShot {
     std::uint64_t id;
     Predicate pred;

@@ -1,0 +1,53 @@
+#include "net/msg_kind.hpp"
+
+#include <stdexcept>
+
+namespace dmx::net {
+
+MsgKindRegistry& MsgKindRegistry::instance() {
+  static MsgKindRegistry registry;
+  return registry;
+}
+
+MsgKind MsgKindRegistry::intern(std::string_view name) {
+  if (name.empty()) {
+    throw std::invalid_argument("MsgKindRegistry: empty message name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return MsgKind(it->second);
+  }
+  if (names_.size() >= MsgKind::kInvalidRaw) {
+    throw std::length_error("MsgKindRegistry: kind space exhausted");
+  }
+  const auto raw = static_cast<std::uint16_t>(names_.size());
+  names_.emplace_back(name);
+  by_name_.emplace(names_.back(), raw);
+  return MsgKind(raw);
+}
+
+MsgKind MsgKindRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return MsgKind(it->second);
+  }
+  return MsgKind{};
+}
+
+std::string_view MsgKindRegistry::name(MsgKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!kind.valid() || kind.index() >= names_.size()) return "<invalid>";
+  return names_[kind.index()];
+}
+
+std::size_t MsgKindRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+std::vector<std::string> MsgKindRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {names_.begin(), names_.end()};
+}
+
+}  // namespace dmx::net

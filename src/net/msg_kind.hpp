@@ -1,0 +1,111 @@
+// Dense integer message-kind registry.
+//
+// The simulator's two hottest per-event operations used to pivot on the
+// payload's dynamic type: delivery ran a chain of dynamic_casts and every
+// send incremented a std::map<std::string> keyed by type_name().  A MsgKind
+// is a small dense integer assigned once per payload type, so dispatch
+// becomes one table index and per-type statistics become one vector index.
+// Names still exist — they are the stable public vocabulary for traces,
+// tables and loss configuration — but translation happens only at the
+// registry boundary, never per message.
+//
+// Registration is one line inside the payload class body:
+//
+//   struct RequestMsg final : net::Msg<RequestMsg> {   // CRTP base (payload.hpp)
+//     DMX_REGISTER_MESSAGE(RequestMsg, "REQUEST");
+//     ...fields...
+//   };
+//
+// The macro defines message_kind(), which interns the name on first use;
+// the Msg<> base also forces that registration during static initialization
+// so name-keyed configuration (e.g. per-type loss probabilities) can be
+// validated against the full set of linked message types before any message
+// is ever constructed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace dmx::net {
+
+/// Dense identifier of one registered message type.  Default-constructed
+/// kinds are invalid and match nothing.
+class MsgKind {
+ public:
+  constexpr MsgKind() = default;
+
+  [[nodiscard]] constexpr bool valid() const { return raw_ != kInvalidRaw; }
+
+  /// Dense index, suitable for vector-indexed tables.  Only meaningful on a
+  /// valid kind.
+  [[nodiscard]] constexpr std::size_t index() const { return raw_; }
+
+  /// Rebuild a kind from a dense index (tooling / counter translation).
+  [[nodiscard]] static constexpr MsgKind from_index(std::size_t i) {
+    return MsgKind(static_cast<std::uint16_t>(i));
+  }
+
+  friend constexpr bool operator==(MsgKind, MsgKind) = default;
+
+ private:
+  friend class MsgKindRegistry;
+  constexpr explicit MsgKind(std::uint16_t raw) : raw_(raw) {}
+
+  static constexpr std::uint16_t kInvalidRaw = 0xFFFF;
+  std::uint16_t raw_ = kInvalidRaw;
+};
+
+/// Process-wide name <-> kind table.  Interning is idempotent: the first
+/// registration of a name allocates the next dense index, later ones return
+/// it.  Lookups by kind are O(1); lookups by name are cold-path only.
+class MsgKindRegistry {
+ public:
+  static MsgKindRegistry& instance();
+
+  /// Register `name` (or fetch its existing kind).  Throws on an empty name
+  /// or on exhausting the 16-bit kind space.
+  MsgKind intern(std::string_view name);
+
+  /// Look up a name without registering it; invalid kind if unknown.
+  [[nodiscard]] MsgKind find(std::string_view name) const;
+
+  /// Stable name of a kind; "<invalid>" for an invalid/unknown kind.
+  [[nodiscard]] std::string_view name(MsgKind kind) const;
+
+  /// Number of kinds registered so far.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Snapshot of all registered names, in kind-index order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  MsgKindRegistry(const MsgKindRegistry&) = delete;
+  MsgKindRegistry& operator=(const MsgKindRegistry&) = delete;
+
+ private:
+  MsgKindRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::deque<std::string> names_;  ///< Deque: element storage never moves.
+  std::map<std::string, std::uint16_t, std::less<>> by_name_;
+};
+
+}  // namespace dmx::net
+
+/// Place inside a payload class body (paired with the net::Msg<T> CRTP base)
+/// to bind the type to a stable wire name and a dense MsgKind.
+#define DMX_REGISTER_MESSAGE(T, NAME)                                       \
+  [[nodiscard]] static ::dmx::net::MsgKind message_kind() {                 \
+    static_assert(std::is_base_of_v<::dmx::net::Payload, T>,                \
+                  #T " must derive from net::Msg<" #T ">");                 \
+    static const ::dmx::net::MsgKind kKind =                                \
+        ::dmx::net::MsgKindRegistry::instance().intern(NAME);               \
+    return kKind;                                                           \
+  }                                                                         \
+  static_assert(sizeof(NAME) > 1, "message name must be non-empty")

@@ -5,12 +5,26 @@
 
 namespace dmx::net {
 
+stats::CounterMap NetworkStats::sent_by_type() const {
+  stats::CounterMap out;
+  const auto& registry = MsgKindRegistry::instance();
+  for (std::size_t i = 0; i < sent_by_kind.size(); ++i) {
+    const std::uint64_t count = sent_by_kind.get(i);
+    if (count == 0) continue;
+    out.increment(std::string(registry.name(MsgKind::from_index(i))), count);
+  }
+  return out;
+}
+
 Network::Network(sim::Simulator& sim, std::size_t n_nodes,
                  std::unique_ptr<DelayModel> delay, std::uint64_t rng_seed)
     : sim_(sim), delay_(std::move(delay)), rng_(rng_seed),
       handlers_(n_nodes, nullptr) {
   if (!delay_) throw std::invalid_argument("Network: null delay model");
   if (n_nodes == 0) throw std::invalid_argument("Network: zero nodes");
+  // Pre-size the per-kind table to every kind registered so far; the growth
+  // branch in increment() then never fires for the common case.
+  stats_.sent_by_kind.ensure(MsgKindRegistry::instance().size());
 }
 
 void Network::attach(NodeId node, MessageHandler* handler) {
@@ -42,7 +56,7 @@ void Network::send(NodeId src, NodeId dst, PayloadPtr payload) {
 
   ++stats_.sent;
   stats_.bytes_sent += env.payload->size_hint();
-  stats_.sent_by_type.increment(std::string(env.payload->type_name()));
+  stats_.sent_by_kind.increment(env.payload->kind().index());
 
   const bool drop = faults_.should_drop(env, rng_);
   if (tap_) tap_(env, drop);

@@ -16,26 +16,34 @@
 
 #include "net/delay_model.hpp"
 #include "net/fault_injector.hpp"
+#include "net/msg_kind.hpp"
 #include "net/payload.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "stats/counter_map.hpp"
+#include "stats/kind_counter.hpp"
 
 namespace dmx::net {
 
 /// Aggregate traffic statistics.  "sent" counts message transmissions (a
 /// broadcast to N-1 destinations counts N-1), matching how the paper counts
-/// messages per critical-section invocation.
+/// messages per critical-section invocation.  Per-type counts are kept as a
+/// dense kind-indexed vector on the send path; name-keyed views are built on
+/// demand at table-output time.
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t bytes_sent = 0;  ///< Sum of payload size_hint()s.
-  stats::CounterMap sent_by_type;
+  stats::KindCounter sent_by_kind;
+
+  /// Name-keyed translation of sent_by_kind (cold path; only kinds with a
+  /// nonzero count appear, matching the old CounterMap behaviour).
+  [[nodiscard]] stats::CounterMap sent_by_type() const;
 
   void reset() {
     sent = delivered = dropped = bytes_sent = 0;
-    sent_by_type.reset();
+    sent_by_kind.reset();
   }
 };
 

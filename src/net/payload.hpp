@@ -1,9 +1,13 @@
 // Message payloads and envelopes.
 //
 // Payloads are immutable, polymorphic and reference-counted: broadcasting one
-// NEW-ARBITER message to N-1 nodes shares a single allocation.  Algorithms
-// identify messages via type_name() (also the key for per-type statistics)
-// and downcast with payload_cast<T>().
+// NEW-ARBITER message to N-1 nodes shares a single allocation.  Every payload
+// type carries a dense MsgKind (see msg_kind.hpp) assigned once per type, so
+// algorithms dispatch on an integer table index instead of a dynamic_cast
+// chain, and per-type statistics index a vector instead of hashing a string.
+// Concrete payloads derive from the CRTP base Msg<T> and bind their wire name
+// with DMX_REGISTER_MESSAGE(T, "NAME"); type_name() is a registry lookup and
+// is intended for cold paths only (traces, tables, configuration).
 #pragma once
 
 #include <cstdint>
@@ -11,20 +15,26 @@
 #include <string>
 #include <string_view>
 
+#include "net/msg_kind.hpp"
 #include "net/node_id.hpp"
 #include "sim/time.hpp"
 
 namespace dmx::net {
 
 /// Base class for all message payloads.  Subclasses should be immutable
-/// value bags.
+/// value bags deriving from Msg<T> below.
 class Payload {
  public:
   virtual ~Payload() = default;
 
-  /// Stable message-type name, e.g. "REQUEST" or "PRIVILEGE".  Used for
-  /// statistics keys and trace output.
-  [[nodiscard]] virtual std::string_view type_name() const = 0;
+  /// Dense message kind; the hot-path identity of this payload's type.
+  [[nodiscard]] MsgKind kind() const { return kind_; }
+
+  /// Stable message-type name, e.g. "REQUEST" or "PRIVILEGE".  Registry
+  /// lookup — cold paths only (statistics tables, trace output).
+  [[nodiscard]] std::string_view type_name() const {
+    return MsgKindRegistry::instance().name(kind_);
+  }
 
   /// Human-readable content summary for traces; defaults to the type name.
   [[nodiscard]] virtual std::string describe() const {
@@ -34,6 +44,28 @@ class Payload {
   /// Approximate serialized size in abstract bytes.  Delay models may use it;
   /// the paper's constant-delay model ignores it.
   [[nodiscard]] virtual std::size_t size_hint() const { return 16; }
+
+ protected:
+  explicit Payload(MsgKind kind) : kind_(kind) {}
+
+ private:
+  MsgKind kind_;
+};
+
+/// CRTP base wiring a payload type to its registered kind.  Derived types
+/// must contain DMX_REGISTER_MESSAGE(Derived, "NAME") in their class body.
+template <typename Derived>
+class Msg : public Payload {
+ protected:
+  Msg() : Payload(Derived::message_kind()) {
+    (void)kEagerKind;  // odr-use: registers the kind at static-init time
+  }
+
+ private:
+  /// Forces registration during static initialization so name-keyed
+  /// configuration (loss tables, drop predicates) can be validated against
+  /// every linked message type before any message is constructed.
+  static inline const MsgKind kEagerKind = Derived::message_kind();
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
@@ -45,9 +77,11 @@ PayloadPtr make_payload(Args&&... args) {
 }
 
 /// Typed view of a payload; nullptr if the payload is of a different type.
+/// Kind-checked static downcast — no RTTI.
 template <typename T>
 const T* payload_cast(const PayloadPtr& p) {
-  return dynamic_cast<const T*>(p.get());
+  if (!p || p->kind() != T::message_kind()) return nullptr;
+  return static_cast<const T*>(p.get());
 }
 
 /// A payload in flight (or delivered) together with its routing metadata.

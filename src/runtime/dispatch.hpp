@@ -1,0 +1,82 @@
+// Kind-indexed message dispatch tables.
+//
+// Replaces the per-delivery dynamic_cast chains that every algorithm's
+// handle() used to run: each algorithm class builds one MsgDispatcher (a
+// dense vector of plain function pointers indexed by MsgKind) at first use
+// and shares it across all nodes.  Delivering a message is then one bounds
+// check plus one indirect call, independent of how many message types the
+// protocol has — the chain cost that dominated the simulator's delivery path
+// is gone, and adding a message type to a protocol is one table entry.
+//
+// Two registration styles:
+//
+//   table.on<&Algo::on_request>();          // handler is a declared member:
+//                                           //   void on_request(const Envelope&,
+//                                           //                   const RequestMsg&)
+//
+//   table.set(HiddenMsg::message_kind(),    // handler for a payload type local
+//       [](Algo& self, const net::Envelope& env) {   // to the .cpp file
+//         const auto& msg = static_cast<const HiddenMsg&>(*env.payload);
+//         ...
+//       });
+//
+// Build the table inside a static member function of the algorithm so the
+// lambdas enjoy the class's private access.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/msg_kind.hpp"
+#include "net/payload.hpp"
+
+namespace dmx::runtime {
+
+namespace detail {
+template <typename T>
+struct HandlerTraits;
+template <typename Self, typename M>
+struct HandlerTraits<void (Self::*)(const net::Envelope&, const M&)> {
+  using Msg = M;
+};
+}  // namespace detail
+
+template <typename Self>
+class MsgDispatcher {
+ public:
+  using Fn = void (*)(Self&, const net::Envelope&);
+
+  /// Register a member-function handler; the message type is deduced from
+  /// its second parameter and the downcast is pre-resolved by the table
+  /// index (no per-delivery type check).
+  template <auto Handler>
+  MsgDispatcher& on() {
+    using M = typename detail::HandlerTraits<decltype(Handler)>::Msg;
+    return set(M::message_kind(), [](Self& self, const net::Envelope& env) {
+      (self.*Handler)(env, static_cast<const M&>(*env.payload));
+    });
+  }
+
+  /// Register a raw handler for a kind (for payload types private to a
+  /// translation unit).
+  MsgDispatcher& set(net::MsgKind kind, Fn fn) {
+    const std::size_t i = kind.index();
+    if (i >= table_.size()) table_.resize(i + 1, nullptr);
+    table_[i] = fn;
+    return *this;
+  }
+
+  /// Dispatch one delivered envelope; false if no handler is registered for
+  /// its kind (callers typically throw — an unknown message is a bug).
+  bool dispatch(Self& self, const net::Envelope& env) const {
+    const std::size_t i = env.payload->kind().index();
+    if (i >= table_.size() || table_[i] == nullptr) return false;
+    table_[i](self, env);
+    return true;
+  }
+
+ private:
+  std::vector<Fn> table_;
+};
+
+}  // namespace dmx::runtime

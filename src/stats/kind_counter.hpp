@@ -1,0 +1,57 @@
+// Dense per-kind counters: the hot-path sibling of CounterMap.
+//
+// CounterMap keys by string and pays a map lookup plus (for callers holding
+// a string_view) a std::string allocation per increment.  KindCounter is a
+// plain vector indexed by a small dense id — one bounds check and one add —
+// for call sites that count per message kind on every send.  Translation to
+// names happens only at table-output time, via the message-kind registry
+// (see net/msg_kind.hpp), so totals and merges stay identical to the old
+// string-keyed accounting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dmx::stats {
+
+class KindCounter {
+ public:
+  void increment(std::size_t idx, std::uint64_t by = 1) {
+    if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+    counts_[idx] += by;
+  }
+
+  [[nodiscard]] std::uint64_t get(std::size_t idx) const {
+    return idx < counts_.size() ? counts_[idx] : 0;
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const std::uint64_t c : counts_) t += c;
+    return t;
+  }
+
+  /// Highest index ever touched, plus one.
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+
+  /// Pre-size the table (e.g. to the registry's current kind count) so the
+  /// growth branch never fires mid-run.
+  void ensure(std::size_t n) {
+    if (n > counts_.size()) counts_.resize(n, 0);
+  }
+
+  void merge(const KindCounter& other) {
+    ensure(other.counts_.size());
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
+
+  void reset() { counts_.clear(); }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace dmx::stats

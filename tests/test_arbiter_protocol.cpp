@@ -35,7 +35,7 @@ TEST(ArbiterProtocol, PaperSection22Example) {
   EXPECT_EQ(stats.requests_forwarded, 1u);
   EXPECT_EQ(stats.dispatches, 2u);  // batch {1,4}, then batch {3}
 
-  const auto& by_type = tb.network().stats().sent_by_type;
+  const auto by_type = tb.network().stats().sent_by_type();
   EXPECT_EQ(by_type.get("REQUEST"), 4u);     // 3 originals + 1 forward
   EXPECT_EQ(by_type.get("PRIVILEGE"), 3u);   // 0->1, 1->4, 4->3
   EXPECT_EQ(by_type.get("NEW-ARBITER"), 8u); // two broadcasts x (N-1)

@@ -92,7 +92,7 @@ TEST(Raymond, TokenMovesAlongTreeEdgesOnly) {
   tb.submit_at(0.0, 6);
   tb.sim().run();
   EXPECT_EQ(tb.total_completed(), 1u);
-  const auto& by_type = tb.network().stats().sent_by_type;
+  const auto by_type = tb.network().stats().sent_by_type();
   EXPECT_EQ(by_type.get("RY-REQUEST"), 2u);
   EXPECT_EQ(by_type.get("RY-PRIVILEGE"), 2u);
   auto* leaf = dynamic_cast<RaymondMutex*>(tb.algos[6]);
@@ -300,7 +300,7 @@ TEST(TokenRing, HolderOfParkedTokenEntersFree) {
   tb.submit_at(0.0, 0);  // token starts parked at node 0
   tb.sim().run();
   EXPECT_EQ(tb.total_completed(), 1u);
-  EXPECT_EQ(tb.network().stats().sent_by_type.get("RING-WAKEUP"), 0u);
+  EXPECT_EQ(tb.network().stats().sent_by_type().get("RING-WAKEUP"), 0u);
 }
 
 }  // namespace

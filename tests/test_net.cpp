@@ -10,14 +10,14 @@
 namespace dmx::net {
 namespace {
 
-struct PingMsg final : Payload {
+struct PingMsg final : Msg<PingMsg> {
+  DMX_REGISTER_MESSAGE(PingMsg, "PING");
   int value;
   explicit PingMsg(int v) : value(v) {}
-  [[nodiscard]] std::string_view type_name() const override { return "PING"; }
 };
 
-struct PongMsg final : Payload {
-  [[nodiscard]] std::string_view type_name() const override { return "PONG"; }
+struct PongMsg final : Msg<PongMsg> {
+  DMX_REGISTER_MESSAGE(PongMsg, "PONG");
 };
 
 /// Records every delivered envelope.
@@ -91,8 +91,12 @@ TEST_F(NetworkTest, PerTypeStatsCountTransmissions) {
   net_->send(NodeId{0}, NodeId{1}, make_payload<PingMsg>(1));
   net_->broadcast(NodeId{0}, make_payload<PongMsg>());
   sim_.run();
-  EXPECT_EQ(net_->stats().sent_by_type.get("PING"), 1u);
-  EXPECT_EQ(net_->stats().sent_by_type.get("PONG"), 2u);
+  EXPECT_EQ(net_->stats().sent_by_type().get("PING"), 1u);
+  EXPECT_EQ(net_->stats().sent_by_type().get("PONG"), 2u);
+  EXPECT_EQ(net_->stats().sent_by_kind.get(PingMsg::message_kind().index()),
+            1u);
+  EXPECT_EQ(net_->stats().sent_by_kind.get(PongMsg::message_kind().index()),
+            2u);
 }
 
 TEST_F(NetworkTest, ProbabilisticLossDropsEverythingAtP1) {

@@ -10,10 +10,10 @@
 namespace dmx::runtime {
 namespace {
 
-struct NoteMsg final : net::Payload {
+struct NoteMsg final : net::Msg<NoteMsg> {
+  DMX_REGISTER_MESSAGE(NoteMsg, "NOTE");
   int value;
   explicit NoteMsg(int v) : value(v) {}
-  [[nodiscard]] std::string_view type_name() const override { return "NOTE"; }
 };
 
 /// Minimal process recording lifecycle and message events.
