@@ -1,0 +1,103 @@
+// §6 chaos campaigns: the paper's four failure scenarios — lost token, lost
+// request, crashed token holder, crashed arbiter — each scripted as a seeded
+// fault plan and measured as first-class robustness output: time-to-recovery
+// and unavailability, with the protocol's own recovery evidence (token
+// regenerations, arbiter takeovers) alongside.
+//
+// A final part runs a deliberately broken plan (crash the epoch-1 arbiter
+// with recovery machinery off — nobody monitors the initial arbiter, so the
+// cluster cannot heal) and shows the progress monitor catching the stall
+// with a per-node diagnosis instead of burning the wall-clock backstop.
+#include "bench_common.hpp"
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* plan;
+  bool recovery;  ///< Recovery machinery on?
+};
+
+dmx::harness::ExperimentConfig campaign_config(const Scenario& s) {
+  dmx::harness::ExperimentConfig cfg;
+  cfg.algorithm = "arbiter-tp";
+  cfg.n_nodes = 10;
+  cfg.lambda = 0.3;
+  cfg.seed = 42;
+  cfg.total_requests = 2'000;
+  if (s.recovery) {
+    cfg.params.set("recovery", 1.0)
+        .set("token_timeout", 3.0)
+        .set("enquiry_timeout", 1.0)
+        .set("arbiter_timeout", 6.0)
+        .set("probe_timeout", 1.0)
+        .set("resubmit_after_misses", 1.0)
+        .set("request_retry_timeout", 5.0);
+  }
+  cfg.fault_plan = s.plan;
+  cfg.max_sim_units = 1e7;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmx;
+  bench::print_header(
+      "Chaos campaigns (§6) — scripted failure scenarios, recovery measured",
+      "Each row is one seeded fault plan against arbiter-tp with recovery "
+      "on.\nTTR = fault injection to the next completed critical section; "
+      "unavail = union\nof open recovery windows.");
+
+  // Crash targets are staged for seed 42 at lambda 0.3 (the simulator is
+  // deterministic, so these stay stable): at t=30 node 5 holds the token as
+  // a plain requester — crashing it loses the token and forces a
+  // regeneration; at t=50 node 3 is the current arbiter — crashing it
+  // additionally forces the previous arbiter's probe watchdog to take over.
+  // The regen/takeover evidence columns keep the staging honest — a drifted
+  // scenario shows up as zeros there (and the bench would still pass only
+  // if every fault recovers).
+  const Scenario scenarios[] = {
+      {"lost token", "t=50 lose-next PRIVILEGE", true},
+      {"lost request", "t=50 lose-next REQUEST", true},
+      {"crashed holder", "t=30 crash 5; t=60 restart 5", true},
+      {"crashed arbiter", "t=50 crash 3; t=80 restart 3", true},
+  };
+
+  harness::Table table({"scenario", "faults", "recovered", "ttr mean",
+                        "ttr max", "unavail", "regens", "takeovers", "stall",
+                        "drained", "safety"});
+  bool sound = true;
+  for (const Scenario& s : scenarios) {
+    const auto r = harness::run_experiment(campaign_config(s));
+    sound = sound && !r.stalled && r.drained && r.safety_violations == 0;
+    table.add_row(
+        {s.name, harness::Table::integer(r.faults_injected),
+         harness::Table::integer(r.faults_recovered),
+         harness::Table::num(r.time_to_recovery.mean(), 3),
+         harness::Table::num(r.time_to_recovery.max(), 3),
+         harness::Table::num(r.unavailability, 3),
+         harness::Table::integer(r.protocol.tokens_regenerated),
+         harness::Table::integer(r.protocol.arbiter_takeovers),
+         r.stalled ? "STALL" : "no", r.drained ? "yes" : "NO",
+         r.safety_violations == 0 ? "ok" : "VIOLATED"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPart B: a plan the protocol cannot survive "
+               "(recovery off, epoch-1 arbiter crashed)\n";
+  Scenario broken{"broken", "t=0.05 crash 0", false};
+  auto cfg = campaign_config(broken);
+  cfg.total_requests = 200;
+  const auto r = harness::run_experiment(cfg);
+  std::cout << (r.stalled ? "progress monitor caught the stall at t="
+                          : "UNEXPECTED: no stall; run ended at t=")
+            << harness::Table::num(r.stall_time > 0 ? r.stall_time
+                                                    : r.sim_duration_units,
+                                   3)
+            << "\n"
+            << r.stall_diagnosis << "\n";
+  // The broken plan is *supposed* to stall; the bench fails if it does not,
+  // or if any recoverable scenario above failed to recover.
+  return (sound && r.stalled) ? 0 : 1;
+}

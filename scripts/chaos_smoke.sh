@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Chaos smoke: one scripted crash/restart campaign per algorithm family,
+# asserting the run stays safe (SafetyMonitor), live (ProgressMonitor) and
+# drained — plus one deliberately unsurvivable plan that MUST be caught by
+# the progress monitor with a per-node diagnosis.
+#
+# The simulator is deterministic, so the pinned (algorithm, seed, timing)
+# combos below are stable.  Baselines have no recovery machinery: their
+# campaigns are staged in windows where the crashed node holds no protocol
+# state the others need (Ricart-Agrawala additionally needs an idle down
+# window, since every requester waits on replies from ALL peers).
+# token-ring and raymond are excluded: any crash on the ring/tree path is
+# lethal by construction, which is a structural property, not a regression
+# this smoke could catch.
+#
+# Usage: scripts/chaos_smoke.sh <path-to-dmx_sweep>
+set -u
+
+SWEEP="${1:?usage: chaos_smoke.sh <path-to-dmx_sweep>}"
+FAILURES=0
+
+RECOVERY_PARAMS=(--param recovery=1 --param token_timeout=3
+  --param enquiry_timeout=1 --param arbiter_timeout=6 --param probe_timeout=1)
+
+run_clean() {
+  local label="$1"; shift
+  echo "=== chaos smoke: ${label}"
+  if ! out=$("$SWEEP" "$@" 2>&1); then
+    echo "$out"
+    echo "FAIL: ${label} — campaign did not stay clean (stall, undrained, or unsafe)"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "$out" | sed -n '1,5p'
+    echo "ok: ${label}"
+  fi
+  echo
+}
+
+# --- arbiter family: real mid-load crash of an active node, recovery on.
+run_clean "arbiter-tp crash/restart" \
+  --algo arbiter-tp --n 5 --lambda 0.3 --requests 300 --seeds 2 \
+  "${RECOVERY_PARAMS[@]}" --fault "t=20 crash 2; t=40 restart 2"
+run_clean "arbiter-tp-sf crash/restart" \
+  --algo arbiter-tp-sf --n 5 --lambda 0.3 --requests 300 --seeds 2 \
+  "${RECOVERY_PARAMS[@]}" --fault "t=20 crash 2; t=40 restart 2"
+
+# --- baseline families: quiet-window crash/restart of a non-critical node.
+run_clean "centralized client crash/restart" \
+  --algo centralized --n 5 --lambda 0.05 --requests 200 --seeds 2 \
+  --fault "t=20 crash 2; t=40 restart 2"
+run_clean "suzuki-kasami non-holder crash/restart" \
+  --algo suzuki-kasami --n 5 --lambda 0.05 --requests 200 --seeds 2 \
+  --fault "t=20 crash 2; t=40 restart 2"
+run_clean "ricart-agrawala idle-window crash/restart" \
+  --algo ricart-agrawala --n 5 --lambda 0.05 --requests 200 --seeds 2 \
+  --fault "t=50 crash 2; t=51 restart 2"
+
+# --- the broken plan: crash the epoch-1 arbiter with recovery off.  Nobody
+# monitors the initial arbiter, so the cluster cannot heal; the progress
+# monitor must catch the stall (exit 1) and name the dead node, instead of
+# the run burning its wall-clock backstop.
+echo "=== chaos smoke: broken plan (recovery off, arbiter crashed)"
+out=$("$SWEEP" --algo arbiter-tp --n 5 --lambda 0.3 --requests 200 --seeds 1 \
+  --fault "t=0.05 crash 0" 2>&1)
+status=$?
+echo "$out"
+if [ "$status" -ne 1 ]; then
+  echo "FAIL: broken plan should exit 1 (stall), got ${status}"
+  FAILURES=$((FAILURES + 1))
+elif ! echo "$out" | grep -q "STALLED" ||
+  ! echo "$out" | grep -q "node 0: CRASHED"; then
+  echo "FAIL: broken plan stalled but the per-node diagnosis is missing"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: broken plan caught by the progress monitor with diagnosis"
+fi
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+  echo "chaos smoke: ${FAILURES} failure(s)"
+  exit 1
+fi
+echo "chaos smoke: all campaigns clean"

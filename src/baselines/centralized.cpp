@@ -32,6 +32,22 @@ CentralizedMutex::CentralizedMutex(net::NodeId coordinator,
   }
 }
 
+std::string CentralizedMutex::debug_state() const {
+  std::string out = "centralized: ";
+  out += id() == coordinator_ ? "coordinator" : "client";
+  if (pending_) out += " pending(req " + std::to_string(pending_->request_id) + ")";
+  if (id() == coordinator_) {
+    out += resource_busy_ ? " busy" : " free";
+    out += " queue={";
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(queue_[i].node.value());
+    }
+    out += "}";
+  }
+  return out;
+}
+
 void CentralizedMutex::request(const mutex::CsRequest& req) {
   if (pending_.has_value()) {
     throw std::logic_error("CentralizedMutex::request: already pending");

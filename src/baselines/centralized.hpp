@@ -23,6 +23,7 @@ class CentralizedMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "centralized";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
  protected:
   void handle(const net::Envelope& env) override;

@@ -38,6 +38,25 @@ void SuzukiKasamiMutex::on_start() {
   if (id() == initial_holder_) have_token_ = true;
 }
 
+std::string SuzukiKasamiMutex::debug_state() const {
+  std::string out = "suzuki-kasami: token=";
+  out += have_token_ ? "held" : "no";
+  if (in_cs_) out += " in-cs";
+  if (pending_) {
+    out += " pending(req " + std::to_string(pending_->request_id) + ", seq " +
+           std::to_string(rn_[id().index()]) + ")";
+  }
+  if (have_token_) {
+    out += " token-queue={";
+    for (std::size_t i = 0; i < token_queue_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(token_queue_[i].value());
+    }
+    out += "}";
+  }
+  return out;
+}
+
 void SuzukiKasamiMutex::request(const mutex::CsRequest& req) {
   if (pending_.has_value()) {
     throw std::logic_error("SuzukiKasami::request: already pending");

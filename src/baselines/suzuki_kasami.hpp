@@ -26,6 +26,7 @@ class SuzukiKasamiMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "suzuki-kasami";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
   [[nodiscard]] bool has_token() const { return have_token_; }
 

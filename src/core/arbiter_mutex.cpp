@@ -70,6 +70,61 @@ std::string_view ArbiterMutex::algorithm_name() const {
   return "arbiter-tp";
 }
 
+std::string ArbiterMutex::debug_state() const {
+  auto phase_name = [](ArbiterPhase p) {
+    switch (p) {
+      case ArbiterPhase::kNone:
+        return "none";
+      case ArbiterPhase::kAwaitingToken:
+        return "awaiting-token";
+      case ArbiterPhase::kIdleWithToken:
+        return "idle-with-token";
+      case ArbiterPhase::kWindow:
+        return "window";
+    }
+    return "?";
+  };
+  auto pending_name = [](PendingState s) {
+    switch (s) {
+      case PendingState::kNone:
+        return "none";
+      case PendingState::kSent:
+        return "sent";
+      case PendingState::kScheduled:
+        return "scheduled";
+      case PendingState::kInCs:
+        return "in-cs";
+    }
+    return "?";
+  };
+  std::string out(algorithm_name());
+  out += ": role=";
+  out += is_arbiter_ ? "arbiter" : "requester";
+  out += " phase=";
+  out += phase_name(phase_);
+  out += " token=";
+  out += have_token_ ? (suspended_ ? "held-suspended" : "held") : "no";
+  out += " epoch=" + std::to_string(epoch_);
+  out += " believes arbiter=" + std::to_string(arbiter_.value()) +
+         " monitor=" + std::to_string(monitor_.value());
+  out += " pending=";
+  out += pending_name(pending_state_);
+  if (pending_) {
+    out += "(req " + std::to_string(pending_->request_id) + ", misses " +
+           std::to_string(miss_count_) + ", retries " +
+           std::to_string(retry_count_) + ")";
+  }
+  if (have_token_) out += " Q=" + q_to_string(q_);
+  if (is_arbiter_) out += " collected=" + q_to_string(collect_q_);
+  if (forwarding_) out += " forwarding";
+  if (invalidation_running_) {
+    out += " invalidating(round " + std::to_string(enquiry_round_) +
+           ", replies " + std::to_string(replies_.size()) + "/" +
+           std::to_string(enquiry_recipients_.size()) + ")";
+  }
+  return out;
+}
+
 void ArbiterMutex::on_start() {
   arbiter_ = params_.initial_arbiter;
   monitor_ = params_.monitor;

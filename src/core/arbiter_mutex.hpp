@@ -78,6 +78,7 @@ class ArbiterMutex final : public mutex::MutexAlgorithm {
   void request(const mutex::CsRequest& req) override;
   void release() override;
   [[nodiscard]] std::string_view algorithm_name() const override;
+  [[nodiscard]] std::string debug_state() const override;
 
   // --- introspection (tests, harness) ----------------------------------------
   [[nodiscard]] const ArbiterStats& protocol_stats() const { return stats_; }

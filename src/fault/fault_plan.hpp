@@ -1,0 +1,83 @@
+// Scripted fault plans: the vocabulary of the chaos campaign engine.
+//
+// A FaultPlan is an ordered, sim-time-scheduled list of fault actions —
+// crash a node, restart it, drop the next message of a kind, raise a loss
+// rate over a window, partition the network into groups, heal it — that the
+// CampaignRunner executes against a live Cluster.  Plans are parseable from
+// a compact spec string so the CLI (and CI) can run the paper's §6 failure
+// scenarios as seeded, repeatable experiments:
+//
+//   "t=5000 crash 3; t=9000 restart 3; t=12000 lose-next PRIVILEGE"
+//
+// Grammar (actions separated by ';', tokens by whitespace):
+//
+//   action := 't=' TIME verb
+//   verb   := 'crash' NODE
+//           | 'restart' NODE
+//           | 'lose-next' TYPE ['from=' NODE] ['to=' NODE]
+//           | 'loss' (TYPE | '*') '=' P ['until=' TIME]
+//           | 'partition' GROUP ('|' GROUP)*     (GROUP = NODE[,NODE...])
+//           | 'heal'
+//
+// TIME and P are doubles (sim time units / probability in [0,1]); NODE is a
+// 0-based node index; TYPE is a registered message-type name ("PRIVILEGE").
+// A 'loss' with 'until=' reverts at that time: a per-type window clears the
+// override (back to the global rate), a global ('*') window restores the
+// global rate captured when the window opened.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmx::fault {
+
+struct FaultAction {
+  enum class Kind {
+    kCrash,
+    kRestart,
+    kLoseNext,
+    kSetLoss,
+    kPartition,
+    kHeal,
+  };
+
+  double at = 0.0;  ///< Absolute sim time (units) the action fires.
+  Kind kind = Kind::kHeal;
+  int node = -1;          ///< crash / restart target.
+  std::string msg_type;   ///< lose-next / loss; "*" = global loss.
+  int src = -1;           ///< lose-next 'from=' filter (-1 = any).
+  int dst = -1;           ///< lose-next 'to=' filter (-1 = any).
+  double probability = 0.0;  ///< loss rate.
+  double until = -1.0;       ///< loss window end (< 0 = open-ended).
+  std::vector<std::vector<int>> groups;  ///< partition groups.
+
+  /// True for actions that disturb the system (open a recovery window):
+  /// crash, lose-next, partition, and loss with p > 0.  restart / heal /
+  /// loss 0 are healing actions.
+  [[nodiscard]] bool disruptive() const;
+
+  /// Round-trips through parse(): "t=5000 crash 3".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// An ordered fault schedule.  Actions are kept sorted by time (stable for
+/// equal times, preserving spec order).
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+  [[nodiscard]] std::size_t size() const { return actions.size(); }
+
+  /// Parse the compact spec grammar above; throws std::invalid_argument
+  /// with a pointed message on any syntax error.  Message-type names are
+  /// NOT validated here (the registry may not be populated yet); the
+  /// CampaignRunner validates them against the MsgKindRegistry at start().
+  static FaultPlan parse(std::string_view spec);
+
+  /// Spec string that parses back to this plan.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace dmx::fault

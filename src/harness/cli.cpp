@@ -1,8 +1,10 @@
 #include "harness/cli.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "harness/table.hpp"
 #include "mutex/registry.hpp"
@@ -81,6 +83,10 @@ usage: dmx_sweep [flags]
   --delay KIND           constant | uniform | exponential [constant]
   --jitter X             jitter width / mean for non-constant delays
   --loss TYPE=P          drop probability per message type (repeatable)
+  --fault "SPEC"         scripted chaos campaign, e.g.
+                         --fault "t=5 crash 3; t=9 restart 3"
+  --stall X              liveness stall threshold in sim units
+                         (< 0 off; default: auto when --fault is given)
   --csv                  CSV output
   --list                 list registered algorithms
   --help                 this text
@@ -146,6 +152,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (a == "--loss") {
       const auto [k, v] = split_kv(a, need_value(i++, a));
       o.loss_by_type[k] = parse_double(a, v);
+    } else if (a == "--fault") {
+      o.fault_plan = need_value(i++, a);
+    } else if (a == "--stall") {
+      o.stall_threshold = parse_double(a, need_value(i++, a));
     } else {
       throw std::invalid_argument("unknown flag: " + a + "\n" + cli_usage());
     }
@@ -170,9 +180,18 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     return 2;
   }
 
-  Table table({"lambda", "msgs/cs", "response", "service", "sojourn",
-               "fwd_frac", "drained", "safety"});
+  const bool chaos = !opts.fault_plan.empty();
+  std::vector<std::string> cols = {"lambda",   "msgs/cs", "response",
+                                   "service",  "sojourn", "fwd_frac",
+                                   "drained",  "safety"};
+  if (chaos) {
+    cols.insert(cols.end(),
+                {"faults", "recovered", "ttr_mean", "ttr_max", "unavail",
+                 "aborted", "stall"});
+  }
+  Table table(cols);
   bool sound = true;
+  std::vector<std::string> stall_reports;
   for (double lambda : opts.lambdas) {
     ExperimentConfig cfg;
     cfg.algorithm = opts.algorithm;
@@ -184,13 +203,18 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     cfg.params = opts.params;
     cfg.delay_kind = opts.delay_kind;
     cfg.delay_jitter = opts.jitter;
+    cfg.fault_plan = opts.fault_plan;
+    cfg.stall_threshold = opts.stall_threshold;
     for (const auto& [type, p] : opts.loss_by_type) {
       cfg.loss_by_type[type] = p;
     }
     const auto runs = run_replicated(cfg, opts.seeds);
-    stats::Welford msgs, resp, svc, soj, fwd;
+    stats::Welford msgs, resp, svc, soj, fwd, ttr, unavail;
     bool drained = true;
+    bool stalled = false;
     std::uint64_t violations = 0;
+    std::uint64_t faults = 0, recovered = 0, aborted = 0;
+    double ttr_max = 0.0;
     for (const auto& r : runs) {
       msgs.add(r.messages_per_cs);
       resp.add(r.response_time.mean());
@@ -199,22 +223,56 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
       fwd.add(r.forwarded_fraction_of_requests);
       drained = drained && r.drained;
       violations += r.safety_violations;
+      faults += r.faults_injected;
+      recovered += r.faults_recovered;
+      aborted += r.aborted_by_crash;
+      if (r.time_to_recovery.count() > 0) {
+        ttr.add(r.time_to_recovery.mean());
+        ttr_max = std::max(ttr_max, r.time_to_recovery.max());
+      }
+      unavail.add(r.unavailability);
+      if (r.stalled) {
+        stalled = true;
+        std::string report = "lambda=" + Table::num(lambda, 3) +
+                             " STALLED at t=" + Table::num(r.stall_time, 3);
+        for (const auto& line : r.fault_log) {
+          report += "\n  fault: " + line;
+        }
+        report += "\n" + r.stall_diagnosis;
+        stall_reports.push_back(std::move(report));
+      }
     }
-    sound = sound && drained && violations == 0;
-    table.add_row({Table::num(lambda, 3),
-                   stats::mean_ci_95(msgs).to_string(3),
-                   Table::num(resp.mean(), 4), Table::num(svc.mean(), 4),
-                   Table::num(soj.mean(), 4), Table::num(fwd.mean(), 4),
-                   drained ? "yes" : "NO",
-                   violations == 0 ? "ok" : "VIOLATED"});
+    sound = sound && drained && violations == 0 && !stalled;
+    std::vector<std::string> row = {Table::num(lambda, 3),
+                                    stats::mean_ci_95(msgs).to_string(3),
+                                    Table::num(resp.mean(), 4),
+                                    Table::num(svc.mean(), 4),
+                                    Table::num(soj.mean(), 4),
+                                    Table::num(fwd.mean(), 4),
+                                    drained ? "yes" : "NO",
+                                    violations == 0 ? "ok" : "VIOLATED"};
+    if (chaos) {
+      row.insert(row.end(),
+                 {std::to_string(faults), std::to_string(recovered),
+                  Table::num(ttr.mean(), 3), Table::num(ttr_max, 3),
+                  Table::num(unavail.mean(), 3), std::to_string(aborted),
+                  stalled ? "STALL" : "no"});
+    }
+    table.add_row(std::move(row));
   }
   os << "algorithm: " << opts.algorithm << "  N=" << opts.n_nodes
      << "  requests/run=" << opts.requests << "  seeds=" << opts.seeds
      << "\n";
+  if (chaos) {
+    os << "fault plan: " << opts.fault_plan << "\n";
+  }
   if (opts.csv) {
     table.print_csv(os);
   } else {
     table.print(os);
+  }
+  for (const auto& report : stall_reports) {
+    os << "\n" << report << "\n";
   }
   return sound ? 0 : 1;
 }

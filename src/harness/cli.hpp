@@ -10,6 +10,10 @@
 //   --param key=value       algorithm parameter     (repeatable)
 //   --delay constant|uniform|exponential [--jitter X]
 //   --loss TYPE=P           message-type loss       (repeatable)
+//   --fault "SPEC"          scripted chaos campaign (fault/fault_plan.hpp),
+//                           e.g. "t=5 crash 3; t=9 restart 3"
+//   --stall X               liveness stall threshold (sim units); X < 0
+//                           disables the monitor, omit for auto
 //   --csv                   emit CSV instead of an aligned table
 //   --list                  list registered algorithms and exit
 //   --help                  usage
@@ -36,6 +40,8 @@ struct CliOptions {
   DelayKind delay_kind = DelayKind::kConstant;
   double jitter = 0.0;
   std::map<std::string, double> loss_by_type;
+  std::string fault_plan;
+  double stall_threshold = 0.0;  ///< See ExperimentConfig::stall_threshold.
   bool csv = false;
   bool list = false;
   bool help = false;

@@ -1,14 +1,19 @@
 #include "harness/experiment.hpp"
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "fault/campaign.hpp"
+#include "fault/fault_plan.hpp"
 #include "mutex/cs_driver.hpp"
+#include "mutex/progress_monitor.hpp"
 #include "mutex/registry.hpp"
 #include "mutex/safety_monitor.hpp"
 #include "net/delay_model.hpp"
 #include "net/msg_kind.hpp"
 #include "runtime/cluster.hpp"
+#include "stats/recovery_metrics.hpp"
 #include "workload/arrivals.hpp"
 #include "workload/generator.hpp"
 
@@ -39,6 +44,22 @@ double auto_sim_bound(const ExperimentConfig& cfg) {
   const double serve_time = static_cast<double>(cfg.total_requests) *
                             (cfg.t_exec + 2.0 * cfg.t_msg + 0.5);
   return 10.0 * (gen_time + serve_time) + 1000.0;
+}
+
+double auto_stall_threshold(const ExperimentConfig& cfg) {
+  // Must comfortably exceed the longest legitimate service pause: a node's
+  // worst-case queueing plus one complete recovery episode (token timeout,
+  // an enquiry round per node, the previous-arbiter watchdog and probe),
+  // with 3x margin.  Still orders of magnitude below auto_sim_bound, which
+  // is the point: a stalled run fails fast with a diagnosis.
+  const double recovery = cfg.params.get_num("token_timeout", 3.0) +
+                          cfg.params.get_num("enquiry_timeout", 1.0) *
+                              static_cast<double>(cfg.n_nodes) +
+                          cfg.params.get_num("arbiter_timeout", 6.0) +
+                          cfg.params.get_num("probe_timeout", 1.0);
+  const double service = static_cast<double>(cfg.n_nodes) *
+                         (cfg.t_exec + 2.0 * cfg.t_msg);
+  return 3.0 * (recovery + service) + 10.0;
 }
 
 }  // namespace
@@ -83,15 +104,45 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   stats::Histogram service_hist(
       0.0, 50.0 * (cfg.t_msg + cfg.t_exec) * static_cast<double>(cfg.n_nodes),
       4'096);
+  stats::RecoveryMetrics recovery;
   for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
     drivers.push_back(std::make_unique<mutex::CsDriver>(
         cluster.simulator(), *algos[i], sim::SimTime::units(cfg.t_exec),
         &monitor, &ids));
     drivers.back()->set_completion_callback(
-        [&service_hist, &cluster](const mutex::CsRequest& req) {
-          service_hist.add(cluster.simulator().now().to_units() -
-                           req.issued_at.to_units());
+        [&service_hist, &cluster, &recovery](const mutex::CsRequest& req) {
+          const double now = cluster.simulator().now().to_units();
+          service_hist.add(now - req.issued_at.to_units());
+          recovery.on_progress(now);
         });
+  }
+
+  // Scripted chaos campaign: parse + validate up front, execute on the
+  // virtual clock, and measure each disruptive action's recovery window.
+  std::optional<fault::CampaignRunner> campaign;
+  if (!cfg.fault_plan.empty()) {
+    campaign.emplace(cluster, fault::FaultPlan::parse(cfg.fault_plan));
+    campaign->set_crash_hook([&drivers](net::NodeId id) {
+      drivers[id.index()]->on_node_crashed();
+    });
+    campaign->set_observer(
+        [&recovery](sim::SimTime t, const fault::FaultAction& a) {
+          if (a.disruptive()) recovery.on_fault(t.to_units(), a.describe());
+        });
+  }
+
+  // Liveness watchdog: on when requested or whenever a campaign runs.
+  std::optional<mutex::ProgressMonitor> progress;
+  if (cfg.stall_threshold > 0.0 ||
+      (cfg.stall_threshold == 0.0 && campaign.has_value())) {
+    mutex::ProgressMonitor::Config pm;
+    pm.stall_threshold = sim::SimTime::units(cfg.stall_threshold > 0.0
+                                                 ? cfg.stall_threshold
+                                                 : auto_stall_threshold(cfg));
+    progress.emplace(cluster.simulator(), pm);
+    for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+      progress->watch(drivers[i].get(), algos[i]);
+    }
   }
 
   std::vector<mutex::CsDriver*> driver_ptrs;
@@ -106,22 +157,46 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   cluster.start();
   gen.start();
+  if (campaign) campaign->start();
+  if (progress) progress->start();
   const double bound =
       cfg.max_sim_units > 0.0 ? cfg.max_sim_units : auto_sim_bound(cfg);
   cluster.simulator().run_until(sim::SimTime::units(bound));
+  if (progress) progress->stop();
+  recovery.end_run(cluster.simulator().now().to_units());
 
   ExperimentResult r;
   r.algorithm = cfg.algorithm;
   r.lambda = cfg.lambda;
   r.submitted = gen.submitted();
+  // Live demand excludes requests that died with a crashed node: demand
+  // aborted mid-flight plus demand that arrived while the node was down
+  // (the generator counts it; the driver of a dead node swallows it).
+  std::uint64_t live_demand = 0;
   for (const auto& d : drivers) {
     r.completed += d->completed();
+    r.aborted_by_crash += d->aborted_by_crash();
+    live_demand += d->submitted() - d->aborted_by_crash();
     r.response_time.merge(d->response_time());
     r.service_time.merge(d->service_time());
     r.sojourn_time.merge(d->sojourn_time());
     r.completions_per_node.push_back(d->completed());
   }
-  r.drained = (r.completed == r.submitted) && r.submitted > 0;
+  r.drained = (r.completed == live_demand) && r.submitted > 0;
+
+  if (campaign) {
+    r.faults_injected = recovery.faults();
+    r.faults_recovered = recovery.recovered();
+    r.time_to_recovery = recovery.ttr();
+    r.unavailability = recovery.unavailability();
+    r.unfired_targeted_drops = campaign->unfired_targeted_drops();
+    r.fault_log = campaign->log();
+  }
+  if (progress) {
+    r.stalled = progress->stalled();
+    r.stall_time = progress->stall_time().to_units();
+    r.stall_diagnosis = progress->diagnosis();
+  }
 
   const auto& net_stats = cluster.network().stats();
   r.messages_total = net_stats.sent;

@@ -42,6 +42,16 @@ struct ExperimentConfig {
   double delay_jitter = 0.0;
   /// Per-message-type loss probabilities (recovery experiments).
   std::map<std::string, double> loss_by_type;
+  /// Scripted chaos campaign: a fault-plan spec string (see
+  /// fault/fault_plan.hpp), e.g. "t=5 crash 3; t=9 restart 3".  Empty = no
+  /// campaign.  Parsed and validated before the run starts.
+  std::string fault_plan;
+  /// Liveness stall threshold in sim units for the ProgressMonitor:
+  ///   > 0  monitor with this threshold;
+  ///   == 0 auto — monitor only when a fault plan is present, with a
+  ///        threshold derived from the load and recovery timeouts;
+  ///   < 0  monitoring off.
+  double stall_threshold = 0.0;
 };
 
 struct ExperimentResult {
@@ -70,7 +80,20 @@ struct ExperimentResult {
   // Correctness.
   std::uint64_t safety_violations = 0;
   int max_occupancy = 0;
-  bool drained = false;  ///< All submitted requests completed.
+  bool drained = false;  ///< Every live-node demand completed (demand that
+                         ///< died with a crashed node is excluded).
+
+  // Robustness (meaningful when a fault plan / progress monitor ran).
+  std::uint64_t aborted_by_crash = 0;   ///< Demand killed by node crashes.
+  std::uint64_t faults_injected = 0;    ///< Disruptive campaign actions.
+  std::uint64_t faults_recovered = 0;
+  stats::Welford time_to_recovery;      ///< Per-fault TTR samples (units).
+  double unavailability = 0.0;          ///< Union of recovery windows.
+  std::uint64_t unfired_targeted_drops = 0;  ///< lose-next that never matched.
+  bool stalled = false;                 ///< ProgressMonitor declared a stall.
+  double stall_time = 0.0;
+  std::string stall_diagnosis;          ///< Per-node debug_state() dump.
+  std::vector<std::string> fault_log;   ///< Executed campaign actions.
 
   // Fairness (§5.1).
   std::vector<std::uint64_t> completions_per_node;

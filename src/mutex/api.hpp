@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <string_view>
 
 #include "net/node_id.hpp"
@@ -50,6 +51,14 @@ class MutexAlgorithm : public runtime::Process {
 
   /// Short algorithm name for tables and traces (e.g. "arbiter-tp").
   [[nodiscard]] virtual std::string_view algorithm_name() const = 0;
+
+  /// One-line snapshot of this node's protocol state for stall diagnostics
+  /// (who do I think holds the token / arbiters / my pending request...).
+  /// The ProgressMonitor dumps it per node when liveness is lost, so the
+  /// richer the better; the default names only the algorithm.
+  [[nodiscard]] virtual std::string debug_state() const {
+    return std::string(algorithm_name()) + ": <no debug state>";
+  }
 
  protected:
   /// Subclasses call this when the local node may enter its CS.

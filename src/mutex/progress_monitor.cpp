@@ -1,0 +1,118 @@
+#include "mutex/progress_monitor.hpp"
+
+#include <stdexcept>
+
+namespace dmx::mutex {
+
+ProgressMonitor::ProgressMonitor(sim::Simulator& sim, Config cfg)
+    : sim_(sim), cfg_(cfg) {
+  if (cfg_.stall_threshold <= sim::SimTime::zero()) {
+    throw std::invalid_argument("ProgressMonitor: stall threshold must be > 0");
+  }
+  if (cfg_.check_interval <= sim::SimTime::zero()) {
+    cfg_.check_interval = sim::SimTime::units(
+        cfg_.stall_threshold.to_units() / 4.0);
+  }
+}
+
+ProgressMonitor::~ProgressMonitor() { stop(); }
+
+void ProgressMonitor::watch(const CsDriver* driver,
+                            const MutexAlgorithm* algo) {
+  if (driver == nullptr || algo == nullptr) {
+    throw std::invalid_argument("ProgressMonitor::watch: null driver/algo");
+  }
+  watched_.push_back(Watched{driver, algo});
+}
+
+void ProgressMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  last_progress_ = sim_.now();
+  last_completed_ = total_completed();
+  schedule_next();
+}
+
+void ProgressMonitor::stop() {
+  running_ = false;
+  sim_.cancel(next_check_);
+  next_check_ = sim::EventId{};
+}
+
+std::uint64_t ProgressMonitor::total_completed() const {
+  std::uint64_t done = 0;
+  for (const Watched& w : watched_) done += w.driver->completed();
+  return done;
+}
+
+bool ProgressMonitor::pending_live_demand() const {
+  for (const Watched& w : watched_) {
+    if (!w.driver->idle() && !w.algo->crashed()) return true;
+  }
+  return false;
+}
+
+void ProgressMonitor::schedule_next() {
+  next_check_ = sim_.schedule_after(cfg_.check_interval, [this] { check(); });
+}
+
+void ProgressMonitor::check() {
+  if (!running_) return;
+  ++checks_;
+  const std::uint64_t done = total_completed();
+  if (done > last_completed_) {
+    last_completed_ = done;
+    last_progress_ = sim_.now();
+  }
+  if (!pending_live_demand()) {
+    last_progress_ = sim_.now();
+    // Quiet system: with no other pending event, future demand is impossible
+    // (arrivals are themselves events), so stop polling and let the queue
+    // drain instead of keeping the simulation alive forever.
+    if (sim_.pending_count() == 0) {
+      running_ = false;
+      return;
+    }
+    schedule_next();
+    return;
+  }
+  if (sim_.pending_count() == 0) {
+    // Demand is pending but nothing is scheduled: no message, timer or
+    // arrival can ever fire again.  Provably stuck — no need to wait out
+    // the threshold.
+    declare_stall(/*event_queue_dry=*/true);
+    return;
+  }
+  if (sim_.now().to_units() - last_progress_.to_units() >=
+      cfg_.stall_threshold.to_units()) {
+    declare_stall(/*event_queue_dry=*/false);
+    return;
+  }
+  schedule_next();
+}
+
+void ProgressMonitor::declare_stall(bool event_queue_dry) {
+  running_ = false;
+  stalled_ = true;
+  stall_time_ = sim_.now();
+  diagnosis_ = "liveness lost at t=" + std::to_string(sim_.now().to_units()) +
+               (event_queue_dry
+                    ? " (event queue dry: nothing can ever fire again)"
+                    : " (no CS completion since t=" +
+                          std::to_string(last_progress_.to_units()) + ")") +
+               "\n";
+  for (std::size_t i = 0; i < watched_.size(); ++i) {
+    const Watched& w = watched_[i];
+    diagnosis_ += "  node " + std::to_string(i) + ": ";
+    if (w.algo->crashed()) {
+      diagnosis_ += "CRASHED";
+    } else {
+      diagnosis_ += w.driver->idle() ? "idle" : "demand-pending";
+      diagnosis_ += " | " + w.algo->debug_state();
+    }
+    diagnosis_ += "\n";
+  }
+  if (cfg_.stop_simulator_on_stall) sim_.stop();
+}
+
+}  // namespace dmx::mutex

@@ -4,6 +4,22 @@
 
 namespace dmx::net {
 
+std::string_view drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kNone:
+      return "none";
+    case DropReason::kNodeDown:
+      return "node-down";
+    case DropReason::kPartition:
+      return "partition";
+    case DropReason::kOneShot:
+      return "one-shot";
+    case DropReason::kRandomLoss:
+      return "random-loss";
+  }
+  return "<invalid>";
+}
+
 void FaultInjector::set_loss_probability(double p) {
   if (p < 0.0 || p > 1.0) {
     throw std::invalid_argument("loss probability must be in [0,1]");
@@ -30,6 +46,20 @@ void FaultInjector::set_loss_probability(std::string_view type_name,
   set_loss_probability(MsgKindRegistry::instance().intern(type_name), p);
 }
 
+void FaultInjector::clear_loss_probability(MsgKind kind) {
+  if (!kind.valid() || kind.index() >= per_kind_loss_.size()) return;
+  per_kind_loss_[kind.index()] = kUnsetLoss;
+}
+
+double FaultInjector::loss_probability(MsgKind kind) const {
+  if (any_per_kind_loss_ && kind.valid() &&
+      kind.index() < per_kind_loss_.size() &&
+      per_kind_loss_[kind.index()] >= 0.0) {
+    return per_kind_loss_[kind.index()];
+  }
+  return global_loss_;
+}
+
 std::uint64_t FaultInjector::drop_next(Predicate pred) {
   if (!pred) throw std::invalid_argument("drop_next: empty predicate");
   const std::uint64_t id = next_one_shot_id_++;
@@ -43,6 +73,13 @@ bool FaultInjector::cancel_one_shot(std::uint64_t id) {
       one_shots_.erase(it);
       return true;
     }
+  }
+  return false;
+}
+
+bool FaultInjector::one_shot_pending(std::uint64_t id) const {
+  for (const auto& os : one_shots_) {
+    if (os.id == id) return true;
   }
   return false;
 }
@@ -80,26 +117,25 @@ void FaultInjector::set_partition(std::vector<std::vector<NodeId>> groups) {
   }
 }
 
-bool FaultInjector::should_drop(const Envelope& env, sim::Rng& rng) {
+DropReason FaultInjector::classify(const Envelope& env, sim::Rng& rng) {
+  // First matching cause wins; checks that consume state (one-shots, the
+  // RNG draw) come after the static endpoint checks, so a message that was
+  // doomed anyway neither retires a one-shot nor perturbs the loss stream.
   if (down_nodes_.contains(env.src) || down_nodes_.contains(env.dst)) {
-    ++dropped_;
-    return true;
+    return DropReason::kNodeDown;
   }
   if (!group_of_.empty()) {
     auto a = group_of_.find(env.src);
     auto b = group_of_.find(env.dst);
     const int ga = a == group_of_.end() ? -1 : a->second;
     const int gb = b == group_of_.end() ? -1 : b->second;
-    if (ga != gb) {
-      ++dropped_;
-      return true;
-    }
+    if (ga != gb) return DropReason::kPartition;
   }
   for (auto it = one_shots_.begin(); it != one_shots_.end(); ++it) {
     if (it->pred(env)) {
       one_shots_.erase(it);
-      ++dropped_;
-      return true;
+      ++os_fired_;
+      return DropReason::kOneShot;
     }
   }
   double p = global_loss_;
@@ -109,11 +145,26 @@ bool FaultInjector::should_drop(const Envelope& env, sim::Rng& rng) {
       p = per_kind_loss_[i];
     }
   }
-  if (p > 0.0 && rng.chance(p)) {
-    ++dropped_;
-    return true;
-  }
-  return false;
+  if (p > 0.0 && rng.chance(p)) return DropReason::kRandomLoss;
+  return DropReason::kNone;
+}
+
+void FaultInjector::count_drop(DropReason r) {
+  ++dropped_;
+  ++dropped_by_reason_[static_cast<std::size_t>(r)];
+}
+
+bool FaultInjector::should_drop(const Envelope& env, sim::Rng& rng) {
+  const DropReason r = classify(env, rng);
+  if (r == DropReason::kNone) return false;
+  count_drop(r);
+  return true;
+}
+
+bool FaultInjector::should_drop_at_delivery(const Envelope& env) {
+  if (!down_nodes_.contains(env.dst)) return false;
+  count_drop(DropReason::kNodeDown);
+  return true;
 }
 
 }  // namespace dmx::net

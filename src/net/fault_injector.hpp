@@ -11,8 +11,16 @@
 // remain (they are the stable public vocabulary) and intern the name into
 // the message-kind registry, so configuring a type before its first message
 // is constructed still matches later traffic.
+//
+// Every drop is adjudicated in exactly one place (classify(), first match
+// wins) and counted exactly once, with the cause recorded: a message between
+// two down-or-partitioned endpoints increments dropped_count() once, never
+// twice.  One-shot drops are observable after the fact — fired vs. pending
+// counts — so a scripted fault campaign can assert its targeted drop
+// actually hit a message instead of silently never matching.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -26,6 +34,18 @@
 #include "sim/rng.hpp"
 
 namespace dmx::net {
+
+/// Why a message was dropped (kNone = delivered).
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kNodeDown,    ///< src or dst is down at send / dst down at delivery.
+  kPartition,   ///< src and dst are in different partition groups.
+  kOneShot,     ///< A targeted drop_next predicate matched.
+  kRandomLoss,  ///< Probabilistic loss (global or per-kind).
+};
+inline constexpr std::size_t kDropReasonCount = 5;
+
+[[nodiscard]] std::string_view drop_reason_name(DropReason r);
 
 class FaultInjector {
  public:
@@ -43,6 +63,13 @@ class FaultInjector {
   /// experiment harness does).
   void set_loss_probability(std::string_view type_name, double p);
 
+  /// Remove a per-kind override: the kind reverts to the global probability.
+  void clear_loss_probability(MsgKind kind);
+
+  /// Effective loss probability a message of this kind faces right now.
+  [[nodiscard]] double loss_probability(MsgKind kind) const;
+  [[nodiscard]] double global_loss_probability() const { return global_loss_; }
+
   /// Register a predicate that drops the first matching message, then
   /// retires.  Returns an id usable with cancel_one_shot.
   std::uint64_t drop_next(Predicate pred);
@@ -56,6 +83,15 @@ class FaultInjector {
   std::uint64_t drop_next_of_kind(MsgKind kind, NodeId src = NodeId{},
                                   NodeId dst = NodeId{});
 
+  /// One-shot observability: how many drop_next predicates have fired (i.e.
+  /// retired by dropping a message), how many are still waiting, and whether
+  /// a specific one is still pending (false once fired or cancelled).
+  [[nodiscard]] std::uint64_t one_shots_fired() const { return os_fired_; }
+  [[nodiscard]] std::size_t one_shots_pending() const {
+    return one_shots_.size();
+  }
+  [[nodiscard]] bool one_shot_pending(std::uint64_t id) const;
+
   /// Mark a node as down (fail-silent) / back up.
   void set_node_down(NodeId node, bool down);
   [[nodiscard]] bool is_node_down(NodeId node) const {
@@ -66,15 +102,29 @@ class FaultInjector {
   /// group.  An empty partition list removes the partition.
   void set_partition(std::vector<std::vector<NodeId>> groups);
   void heal_partition() { group_of_.clear(); }
+  [[nodiscard]] bool partitioned() const { return !group_of_.empty(); }
 
-  /// Decide the fate of a message about to be sent (or delivered).
-  /// Mutates one-shot state; uses rng for probabilistic loss.
+  /// Decide the fate of a message about to be sent.  Mutates one-shot state;
+  /// uses rng for probabilistic loss.  Counts at most one drop.
   bool should_drop(const Envelope& env, sim::Rng& rng);
 
+  /// Delivery-time fate re-check: the destination may have gone down while
+  /// the message was in flight.  Counts (once) as a kNodeDown drop.  A
+  /// message already dropped at send time never reaches this check, so no
+  /// message is ever counted twice.
+  bool should_drop_at_delivery(const Envelope& env);
+
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+  [[nodiscard]] std::uint64_t dropped_count(DropReason r) const {
+    return dropped_by_reason_[static_cast<std::size_t>(r)];
+  }
 
  private:
   static constexpr double kUnsetLoss = -1.0;
+
+  /// Single adjudication point: first matching cause wins.
+  DropReason classify(const Envelope& env, sim::Rng& rng);
+  void count_drop(DropReason r);
 
   double global_loss_ = 0.0;
   std::vector<double> per_kind_loss_;  ///< kind index -> p; kUnsetLoss = none.
@@ -85,9 +135,11 @@ class FaultInjector {
   };
   std::vector<OneShot> one_shots_;
   std::uint64_t next_one_shot_id_ = 1;
+  std::uint64_t os_fired_ = 0;
   std::unordered_set<NodeId> down_nodes_;
   std::unordered_map<NodeId, int> group_of_;
   std::uint64_t dropped_ = 0;
+  std::array<std::uint64_t, kDropReasonCount> dropped_by_reason_{};
 };
 
 }  // namespace dmx::net

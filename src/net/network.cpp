@@ -82,8 +82,10 @@ void Network::broadcast(NodeId src, const PayloadPtr& payload) {
 
 void Network::deliver(Envelope env) {
   // Re-check fate at delivery time: the destination may have crashed while
-  // the message was in flight.
-  if (faults_.is_node_down(env.dst)) {
+  // the message was in flight.  The injector counts this drop; a message
+  // already dropped at send time never gets here, so each transmission is
+  // adjudicated and counted at most once.
+  if (faults_.should_drop_at_delivery(env)) {
     ++stats_.dropped;
     return;
   }

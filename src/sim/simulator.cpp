@@ -52,7 +52,9 @@ void Simulator::run_until(SimTime t) {
   while (!stopped_ && skip_cancelled() && heap_.top().time <= t) {
     step();
   }
-  if (now_ < t) now_ = t;
+  // A stop() mid-run leaves the clock at the stopping event's time; only a
+  // run that genuinely drained the window advances to the horizon.
+  if (!stopped_ && now_ < t) now_ = t;
 }
 
 }  // namespace dmx::sim

@@ -1,0 +1,39 @@
+#include "stats/recovery_metrics.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dmx::stats {
+
+void RecoveryMetrics::on_fault(double t, std::string label) {
+  if (open_.empty()) union_start_ = t;
+  FaultRecord rec;
+  rec.at = t;
+  rec.label = std::move(label);
+  open_.push_back(records_.size());
+  records_.push_back(std::move(rec));
+}
+
+void RecoveryMetrics::on_progress(double t) {
+  if (open_.empty()) return;
+  for (std::size_t idx : open_) {
+    FaultRecord& rec = records_[idx];
+    rec.recovered = true;
+    rec.time_to_recovery = t - rec.at;
+    ttr_.add(rec.time_to_recovery);
+    ttr_hist_.add(rec.time_to_recovery);
+    ++recovered_;
+  }
+  open_.clear();
+  unavailability_ += t - union_start_;
+}
+
+void RecoveryMetrics::end_run(double t) {
+  if (open_.empty()) return;
+  // Censored: the windows never closed.  Bill their union through the end
+  // of the run but record no TTR sample (the faults stay unrecovered).
+  unavailability_ += std::max(0.0, t - union_start_);
+  open_.clear();
+}
+
+}  // namespace dmx::stats
