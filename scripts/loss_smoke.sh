@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Loss smoke: one seeded lossy campaign (random loss + a reordering window
+# + targeted duplication) per algorithm family, running over the reliable
+# transport (--transport reliable).  Every run must stay safe
+# (SafetyMonitor), live (ProgressMonitor: zero stalls) and drained — the
+# transport's acks, backoff retransmission and dedup are what turn a lossy
+# network back into the lossless FIFO channel the baselines assume.
+#
+# Unlike chaos_smoke.sh, no algorithm is excluded and no quiet-window
+# staging is needed: message loss is exactly the fault class the transport
+# repairs, so token-ring and raymond run the same campaign as everyone
+# else.  The simulator is deterministic, so these pinned combos are stable.
+#
+# Usage: scripts/loss_smoke.sh <path-to-dmx_sweep>
+set -u
+
+SWEEP="${1:?usage: loss_smoke.sh <path-to-dmx_sweep>}"
+FAILURES=0
+
+LOSS_PLAN="t=5 loss *=0.2 until=60; reorder-window t=10..30; t=12 dup-next RT-ACK"
+
+run_clean() {
+  local label="$1"; shift
+  echo "=== loss smoke: ${label}"
+  if ! out=$("$SWEEP" --transport reliable --fault "$LOSS_PLAN" "$@" 2>&1); then
+    echo "$out"
+    echo "FAIL: ${label} — lossy campaign did not stay clean (stall, undrained, or unsafe)"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "$out" | sed -n '1,6p'
+    echo "ok: ${label}"
+  fi
+  echo
+}
+
+# The paper's algorithm and its starvation-free variant.
+run_clean "arbiter-tp" \
+  --algo arbiter-tp --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "arbiter-tp-sf" \
+  --algo arbiter-tp-sf --n 5 --lambda 0.3 --requests 300 --seeds 2
+
+# One representative per baseline family: coordinator, broadcast token,
+# ring token, tree token, permission-broadcast, quorum, dynamic
+# information-structure.
+run_clean "centralized" \
+  --algo centralized --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "suzuki-kasami" \
+  --algo suzuki-kasami --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "token-ring" \
+  --algo token-ring --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "raymond" \
+  --algo raymond --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "ricart-agrawala" \
+  --algo ricart-agrawala --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "lamport" \
+  --algo lamport --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "maekawa" \
+  --algo maekawa --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "tree-quorum" \
+  --algo tree-quorum --n 5 --lambda 0.3 --requests 300 --seeds 2
+run_clean "singhal" \
+  --algo singhal --n 5 --lambda 0.3 --requests 300 --seeds 2
+
+# Control: the same campaign on the RAW network must wedge a token
+# algorithm (a lost SK-TOKEN is unrecoverable without the transport), and
+# the progress monitor must catch it as a stall (exit 1) rather than the
+# run burning its wall-clock backstop.
+echo "=== loss smoke: control (raw network, same campaign, must stall)"
+out=$("$SWEEP" --algo suzuki-kasami --n 5 --lambda 0.3 --requests 300 \
+  --seeds 1 --fault "t=5 loss *=0.2 until=60" 2>&1)
+status=$?
+echo "$out" | sed -n '1,6p'
+if [ "$status" -ne 1 ] || ! echo "$out" | grep -q "STALLED"; then
+  echo "FAIL: raw-network control should stall with exit 1, got ${status}"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: raw-network control stalls; the reliable transport is load-bearing"
+fi
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+  echo "loss smoke: ${FAILURES} failure(s)"
+  exit 1
+fi
+echo "loss smoke: all lossy campaigns clean over the reliable transport"

@@ -31,6 +31,24 @@ struct LpReleaseMsg final : net::Msg<LpReleaseMsg> {
 LamportMutex::LamportMutex(std::size_t n_nodes)
     : n_(n_nodes), last_heard_(n_nodes, 0) {}
 
+std::string LamportMutex::debug_state() const {
+  std::string out = "lamport: clock=" + std::to_string(clock_);
+  if (in_cs_) {
+    out += " in-cs(ts " + std::to_string(my_ts_) + ")";
+  } else if (pending_) {
+    out += " requesting(ts " + std::to_string(my_ts_) + ")";
+  } else {
+    out += " idle";
+  }
+  out += " queue=" + std::to_string(queue_.size());
+  if (!queue_.empty()) {
+    const auto& head = queue_.begin()->first;
+    out += " head=(ts " + std::to_string(head.first) + ", node " +
+           std::to_string(head.second) + ")";
+  }
+  return out;
+}
+
 void LamportMutex::request(const mutex::CsRequest& req) {
   if (pending_.has_value()) {
     throw std::logic_error("Lamport::request: already pending");

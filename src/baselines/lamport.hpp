@@ -26,6 +26,7 @@ class LamportMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "lamport";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
  protected:
   void handle(const net::Envelope& env) override;

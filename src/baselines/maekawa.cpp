@@ -110,6 +110,30 @@ void MaekawaMutex::on_start() {
                                  : all_quorums_[id().index()];
 }
 
+std::string MaekawaMutex::debug_state() const {
+  std::string out = "maekawa: clock=" + std::to_string(clock_);
+  if (in_cs_) {
+    out += " in-cs";
+  } else if (pending_) {
+    out += " requesting(ts " + std::to_string(my_ts_) + ", votes " +
+           std::to_string(votes_.size()) + "/" +
+           std::to_string(quorum_.size()) + ")";
+    if (saw_failed_) out += " saw-failed";
+    if (!pending_inquires_.empty()) {
+      out += " inquires=" + std::to_string(pending_inquires_.size());
+    }
+  } else {
+    out += " idle";
+  }
+  if (locked_for_) {
+    out += " locked-for(node " + std::to_string(locked_for_->node.value()) +
+           ", ts " + std::to_string(locked_for_->ts) + ")";
+    if (inquired_) out += " inquired";
+  }
+  if (!wait_q_.empty()) out += " wait-q=" + std::to_string(wait_q_.size());
+  return out;
+}
+
 void MaekawaMutex::dispatch(net::NodeId dst, const net::PayloadPtr& payload) {
   if (dst == id()) {
     // Zero-latency self-delivery, bypassing the network (and its stats).

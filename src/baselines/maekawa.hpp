@@ -44,6 +44,7 @@ class MaekawaMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "maekawa";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
   [[nodiscard]] const std::vector<net::NodeId>& quorum() const {
     return quorum_;

@@ -19,6 +19,21 @@ struct RyPrivilegeMsg final : net::Msg<RyPrivilegeMsg> {
 
 RaymondMutex::RaymondMutex(std::size_t n_nodes) : n_(n_nodes) {}
 
+std::string RaymondMutex::debug_state() const {
+  std::string out = "raymond: holder=";
+  out += holder_self_ ? "self" : std::to_string(holder_.value());
+  if (using_) out += " in-cs";
+  if (asked_) out += " asked";
+  if (pending_) out += " pending(req " + std::to_string(pending_->request_id) + ")";
+  out += " request-q={";
+  for (std::size_t i = 0; i < request_q_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += request_q_[i] == kSelf ? "self" : std::to_string(request_q_[i]);
+  }
+  out += "}";
+  return out;
+}
+
 void RaymondMutex::on_start() {
   if (id().value() == 0) {
     holder_self_ = true;

@@ -36,6 +36,7 @@ class RaymondMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "raymond";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
   [[nodiscard]] bool holds_token() const { return holder_self_; }
 

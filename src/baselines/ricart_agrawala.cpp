@@ -22,6 +22,26 @@ struct RaReplyMsg final : net::Msg<RaReplyMsg> {
 RicartAgrawalaMutex::RicartAgrawalaMutex(std::size_t n_nodes)
     : n_(n_nodes), deferred_(n_nodes, false) {}
 
+std::string RicartAgrawalaMutex::debug_state() const {
+  std::string out = "ricart-agrawala: clock=" + std::to_string(clock_);
+  if (in_cs_) {
+    out += " in-cs(ts " + std::to_string(my_ts_) + ")";
+  } else if (requesting_) {
+    out += " requesting(ts " + std::to_string(my_ts_) + ", awaiting " +
+           std::to_string(replies_needed_) + " replies)";
+  } else {
+    out += " idle";
+  }
+  std::string defer;
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    if (!deferred_[i]) continue;
+    if (!defer.empty()) defer += ',';
+    defer += std::to_string(i);
+  }
+  if (!defer.empty()) out += " deferred={" + defer + "}";
+  return out;
+}
+
 bool RicartAgrawalaMutex::they_win(std::uint64_t their_ts,
                                    net::NodeId them) const {
   if (their_ts != my_ts_) return their_ts < my_ts_;

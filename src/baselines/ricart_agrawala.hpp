@@ -25,6 +25,7 @@ class RicartAgrawalaMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "ricart-agrawala";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
  protected:
   void handle(const net::Envelope& env) override;

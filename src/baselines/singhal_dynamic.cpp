@@ -22,6 +22,28 @@ struct SgReplyMsg final : net::Msg<SgReplyMsg> {
 SinghalDynamicMutex::SinghalDynamicMutex(std::size_t n_nodes)
     : n_(n_nodes), sv_(n_nodes, SiteState::kNone), sn_(n_nodes, 0) {}
 
+std::string SinghalDynamicMutex::debug_state() const {
+  std::string out = "singhal: sn=" + std::to_string(my_sn_);
+  if (sv_[id().index()] == SiteState::kExecuting) {
+    out += " in-cs";
+  } else if (pending_) {
+    out += " requesting";
+  } else {
+    out += " idle";
+  }
+  auto join = [](const std::set<net::NodeId>& ids) {
+    std::string s;
+    for (net::NodeId nid : ids) {
+      if (!s.empty()) s += ',';
+      s += std::to_string(nid.value());
+    }
+    return s;
+  };
+  if (!awaiting_.empty()) out += " awaiting={" + join(awaiting_) + "}";
+  if (!deferred_.empty()) out += " deferred={" + join(deferred_) + "}";
+  return out;
+}
+
 void SinghalDynamicMutex::on_start() {
   // Staircase initialization: site i believes sites 0..i-1 are requesting,
   // so for any pair the higher-indexed site asks the lower-indexed one.

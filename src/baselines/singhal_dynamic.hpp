@@ -28,6 +28,7 @@ class SinghalDynamicMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "singhal";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
   /// Number of sites this node would currently ask (test hook).
   [[nodiscard]] std::size_t request_set_size() const;

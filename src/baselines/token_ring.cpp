@@ -26,6 +26,14 @@ TokenRingMutex::TokenRingMutex(std::size_t n_nodes, sim::SimTime hop_dwell)
   if (n_nodes == 0) throw std::invalid_argument("TokenRing: zero nodes");
 }
 
+std::string TokenRingMutex::debug_state() const {
+  std::string out = "token-ring: token=";
+  out += have_token_ ? (parked_ ? "parked-here" : "held") : "no";
+  if (in_cs_) out += " in-cs";
+  if (pending_) out += " pending(req " + std::to_string(pending_->request_id) + ")";
+  return out;
+}
+
 void TokenRingMutex::on_start() {
   if (id().value() == 0) {
     // The token starts parked at node 0 (no demand yet).

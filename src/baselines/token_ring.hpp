@@ -32,6 +32,7 @@ class TokenRingMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string_view algorithm_name() const override {
     return "token-ring";
   }
+  [[nodiscard]] std::string debug_state() const override;
 
   [[nodiscard]] bool has_token() const { return have_token_; }
   [[nodiscard]] bool parked() const { return have_token_ && parked_; }

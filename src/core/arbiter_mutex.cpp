@@ -213,6 +213,12 @@ void ArbiterMutex::arm_request_retry() {
         ++stats_.broadcast_retries;
         trace("resubmit", "broadcast retry");
         broadcast(net::make_payload<RequestMsg>(make_own_entry()));
+        // If no node currently holds arbitership (e.g. the arbiter crashed
+        // and restarted with amnesia before anyone noticed), the broadcast
+        // lands on non-arbiters that all drop it — escalate by probing the
+        // believed arbiter: a not-on-duty reply (or silence) triggers the
+        // takeover path.
+        if (params_.recovery) on_successor_silent();
         arm_request_retry();
       } else {
         resubmit_pending(/*to_monitor=*/false);

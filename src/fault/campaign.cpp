@@ -43,6 +43,7 @@ void CampaignRunner::validate() const {
         check_node(a.node, a);
         break;
       case FaultAction::Kind::kLoseNext:
+      case FaultAction::Kind::kDupNext:
         check_type(a.msg_type, a);
         check_node(a.src, a);
         check_node(a.dst, a);
@@ -55,6 +56,7 @@ void CampaignRunner::validate() const {
           for (int n : group) check_node(n, a);
         }
         break;
+      case FaultAction::Kind::kReorderWindow:
       case FaultAction::Kind::kHeal:
         break;
     }
@@ -109,6 +111,12 @@ void CampaignRunner::execute(const FaultAction& action) {
       one_shot_ids_.push_back(faults.drop_next_of_type(
           action.msg_type, to_node(action.src), to_node(action.dst)));
       break;
+    case FaultAction::Kind::kDupNext:
+      // Tracked with the drop one-shots: a dup-next that never matches is
+      // the same campaign misfire as a lose-next that never matches.
+      one_shot_ids_.push_back(faults.duplicate_next_of_type(
+          action.msg_type, to_node(action.src), to_node(action.dst)));
+      break;
     case FaultAction::Kind::kSetLoss:
       if (action.msg_type == "*") {
         const double previous = faults.global_loss_probability();
@@ -142,6 +150,12 @@ void CampaignRunner::execute(const FaultAction& action) {
       faults.set_partition(std::move(groups));
       break;
     }
+    case FaultAction::Kind::kReorderWindow:
+      faults.set_reorder(true);
+      events_.push_back(cluster_.simulator().schedule_at(
+          sim::SimTime::units(action.until),
+          [this] { cluster_.network().faults().set_reorder(false); }));
+      break;
     case FaultAction::Kind::kHeal:
       faults.heal_partition();
       break;

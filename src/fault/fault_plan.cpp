@@ -83,6 +83,27 @@ std::string fmt_num(double v) {
 FaultAction parse_action(std::string_view action) {
   const std::vector<std::string> toks = tokenize(action);
   if (toks.empty()) fail("empty action", action);
+  if (toks[0] == "reorder-window") {
+    // Verb-first special form: 'reorder-window t=<a>..<b>'.  The window
+    // start doubles as the fire time.
+    if (toks.size() != 2 || toks[1].rfind("t=", 0) != 0) {
+      fail("'reorder-window' takes t=<a>..<b>", action);
+    }
+    const std::string range = toks[1].substr(2);
+    const std::size_t dots = range.find("..");
+    if (dots == std::string::npos || dots == 0 || dots + 2 >= range.size()) {
+      fail("'reorder-window' takes t=<a>..<b>", action);
+    }
+    FaultAction a;
+    a.kind = FaultAction::Kind::kReorderWindow;
+    a.at = parse_num(range.substr(0, dots), "time", action);
+    a.until = parse_num(range.substr(dots + 2), "time", action);
+    if (a.at < 0.0) fail("negative time", action);
+    if (a.until <= a.at) {
+      fail("'reorder-window' end must be after its start", action);
+    }
+    return a;
+  }
   if (toks[0].rfind("t=", 0) != 0) {
     fail("expected 't=TIME' first", action);
   }
@@ -100,11 +121,12 @@ FaultAction parse_action(std::string_view action) {
     a.kind = verb == "crash" ? FaultAction::Kind::kCrash
                              : FaultAction::Kind::kRestart;
     a.node = parse_node(toks[2], action);
-  } else if (verb == "lose-next") {
+  } else if (verb == "lose-next" || verb == "dup-next") {
     if (toks.size() < 3 || toks.size() > 5) {
-      fail("'lose-next' takes TYPE [from=N] [to=N]", action);
+      fail("'" + verb + "' takes TYPE [from=N] [to=N]", action);
     }
-    a.kind = FaultAction::Kind::kLoseNext;
+    a.kind = verb == "lose-next" ? FaultAction::Kind::kLoseNext
+                                 : FaultAction::Kind::kDupNext;
     a.msg_type = toks[2];
     for (std::size_t i = 3; i < toks.size(); ++i) {
       if (toks[i].rfind("from=", 0) == 0) {
@@ -112,7 +134,7 @@ FaultAction parse_action(std::string_view action) {
       } else if (toks[i].rfind("to=", 0) == 0) {
         a.dst = parse_node(toks[i].substr(3), action);
       } else {
-        fail("unknown lose-next option '" + toks[i] + "'", action);
+        fail("unknown " + verb + " option '" + toks[i] + "'", action);
       }
     }
   } else if (verb == "loss") {
@@ -157,10 +179,12 @@ bool FaultAction::disruptive() const {
     case Kind::kCrash:
     case Kind::kLoseNext:
     case Kind::kPartition:
+    case Kind::kReorderWindow:
       return true;
     case Kind::kSetLoss:
       return probability > 0.0;
     case Kind::kRestart:
+    case Kind::kDupNext:
     case Kind::kHeal:
       return false;
   }
@@ -169,6 +193,10 @@ bool FaultAction::disruptive() const {
 
 std::string FaultAction::describe() const {
   std::ostringstream os;
+  if (kind == Kind::kReorderWindow) {  // Verb-first form.
+    os << "reorder-window t=" << fmt_num(at) << ".." << fmt_num(until);
+    return os.str();
+  }
   os << "t=" << fmt_num(at) << ' ';
   switch (kind) {
     case Kind::kCrash:
@@ -178,7 +206,8 @@ std::string FaultAction::describe() const {
       os << "restart " << node;
       break;
     case Kind::kLoseNext:
-      os << "lose-next " << msg_type;
+    case Kind::kDupNext:
+      os << (kind == Kind::kLoseNext ? "lose-next " : "dup-next ") << msg_type;
       if (src >= 0) os << " from=" << src;
       if (dst >= 0) os << " to=" << dst;
       break;
@@ -200,6 +229,8 @@ std::string FaultAction::describe() const {
     case Kind::kHeal:
       os << "heal";
       break;
+    case Kind::kReorderWindow:
+      break;  // Handled above (verb-first form).
   }
   return os.str();
 }

@@ -12,9 +12,11 @@
 // Grammar (actions separated by ';', tokens by whitespace):
 //
 //   action := 't=' TIME verb
+//           | 'reorder-window' 't=' TIME '..' TIME
 //   verb   := 'crash' NODE
 //           | 'restart' NODE
 //           | 'lose-next' TYPE ['from=' NODE] ['to=' NODE]
+//           | 'dup-next' TYPE ['from=' NODE] ['to=' NODE]
 //           | 'loss' (TYPE | '*') '=' P ['until=' TIME]
 //           | 'partition' GROUP ('|' GROUP)*     (GROUP = NODE[,NODE...])
 //           | 'heal'
@@ -24,6 +26,14 @@
 // A 'loss' with 'until=' reverts at that time: a per-type window clears the
 // override (back to the global rate), a global ('*') window restores the
 // global rate captured when the window opened.
+//
+// 'dup-next' mirrors 'lose-next' but injects one extra copy of the matched
+// message instead of dropping it; stack several to get several duplicates
+// of the same frame.  'reorder-window t=<a>..<b>' is verb-first: the window
+// start is the fire time, and while it is open the network routes alternate
+// messages over a slower path so they overtake their successors (see
+// FaultInjector::reorder_penalty).  Both exist to exercise a reliable
+// transport's dedup and resequencing machinery.
 #pragma once
 
 #include <cstdint>
@@ -38,7 +48,9 @@ struct FaultAction {
     kCrash,
     kRestart,
     kLoseNext,
+    kDupNext,
     kSetLoss,
+    kReorderWindow,
     kPartition,
     kHeal,
   };
@@ -46,16 +58,17 @@ struct FaultAction {
   double at = 0.0;  ///< Absolute sim time (units) the action fires.
   Kind kind = Kind::kHeal;
   int node = -1;          ///< crash / restart target.
-  std::string msg_type;   ///< lose-next / loss; "*" = global loss.
-  int src = -1;           ///< lose-next 'from=' filter (-1 = any).
-  int dst = -1;           ///< lose-next 'to=' filter (-1 = any).
+  std::string msg_type;   ///< lose-next / dup-next / loss; "*" = global loss.
+  int src = -1;           ///< lose-next / dup-next 'from=' filter (-1 = any).
+  int dst = -1;           ///< lose-next / dup-next 'to=' filter (-1 = any).
   double probability = 0.0;  ///< loss rate.
-  double until = -1.0;       ///< loss window end (< 0 = open-ended).
+  double until = -1.0;       ///< loss / reorder window end (< 0 = open-ended).
   std::vector<std::vector<int>> groups;  ///< partition groups.
 
   /// True for actions that disturb the system (open a recovery window):
-  /// crash, lose-next, partition, and loss with p > 0.  restart / heal /
-  /// loss 0 are healing actions.
+  /// crash, lose-next, partition, reorder-window, and loss with p > 0.
+  /// restart / heal / loss 0 are healing actions, and dup-next only adds an
+  /// extra copy — nothing an algorithm was waiting on goes missing.
   [[nodiscard]] bool disruptive() const;
 
   /// Round-trips through parse(): "t=5000 crash 3".

@@ -85,6 +85,9 @@ usage: dmx_sweep [flags]
   --loss TYPE=P          drop probability per message type (repeatable)
   --fault "SPEC"         scripted chaos campaign, e.g.
                          --fault "t=5 crash 3; t=9 restart 3"
+  --transport KIND       raw | reliable                [raw]
+                         reliable adds per-peer acks, backoff retransmission
+                         and exactly-once in-order delivery under loss
   --stall X              liveness stall threshold in sim units
                          (< 0 off; default: auto when --fault is given)
   --csv                  CSV output
@@ -154,6 +157,15 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.loss_by_type[k] = parse_double(a, v);
     } else if (a == "--fault") {
       o.fault_plan = need_value(i++, a);
+    } else if (a == "--transport") {
+      const std::string v = need_value(i++, a);
+      if (v == "raw") {
+        o.transport = TransportKind::kRaw;
+      } else if (v == "reliable") {
+        o.transport = TransportKind::kReliable;
+      } else {
+        throw std::invalid_argument("unknown --transport kind: " + v);
+      }
     } else if (a == "--stall") {
       o.stall_threshold = parse_double(a, need_value(i++, a));
     } else {
@@ -181,6 +193,7 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
   }
 
   const bool chaos = !opts.fault_plan.empty();
+  const bool reliable = opts.transport == TransportKind::kReliable;
   std::vector<std::string> cols = {"lambda",   "msgs/cs", "response",
                                    "service",  "sojourn", "fwd_frac",
                                    "drained",  "safety"};
@@ -188,6 +201,9 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     cols.insert(cols.end(),
                 {"faults", "recovered", "ttr_mean", "ttr_max", "unavail",
                  "aborted", "stall"});
+  }
+  if (reliable) {
+    cols.insert(cols.end(), {"retrans", "dup_dropped", "acks"});
   }
   Table table(cols);
   bool sound = true;
@@ -204,6 +220,7 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     cfg.delay_kind = opts.delay_kind;
     cfg.delay_jitter = opts.jitter;
     cfg.fault_plan = opts.fault_plan;
+    cfg.transport = opts.transport;
     cfg.stall_threshold = opts.stall_threshold;
     for (const auto& [type, p] : opts.loss_by_type) {
       cfg.loss_by_type[type] = p;
@@ -214,6 +231,7 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     bool stalled = false;
     std::uint64_t violations = 0;
     std::uint64_t faults = 0, recovered = 0, aborted = 0;
+    std::uint64_t retrans = 0, dup_dropped = 0, acks = 0;
     double ttr_max = 0.0;
     for (const auto& r : runs) {
       msgs.add(r.messages_per_cs);
@@ -226,6 +244,9 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
       faults += r.faults_injected;
       recovered += r.faults_recovered;
       aborted += r.aborted_by_crash;
+      retrans += r.transport.retransmits;
+      dup_dropped += r.transport.dup_dropped;
+      acks += r.transport.acks_sent;
       if (r.time_to_recovery.count() > 0) {
         ttr.add(r.time_to_recovery.mean());
         ttr_max = std::max(ttr_max, r.time_to_recovery.max());
@@ -258,6 +279,11 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
                   Table::num(unavail.mean(), 3), std::to_string(aborted),
                   stalled ? "STALL" : "no"});
     }
+    if (reliable) {
+      row.insert(row.end(), {std::to_string(retrans),
+                             std::to_string(dup_dropped),
+                             std::to_string(acks)});
+    }
     table.add_row(std::move(row));
   }
   os << "algorithm: " << opts.algorithm << "  N=" << opts.n_nodes
@@ -265,6 +291,9 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
      << "\n";
   if (chaos) {
     os << "fault plan: " << opts.fault_plan << "\n";
+  }
+  if (reliable) {
+    os << "transport: reliable\n";
   }
   if (opts.csv) {
     table.print_csv(os);

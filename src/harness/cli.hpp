@@ -12,6 +12,8 @@
 //   --loss TYPE=P           message-type loss       (repeatable)
 //   --fault "SPEC"          scripted chaos campaign (fault/fault_plan.hpp),
 //                           e.g. "t=5 crash 3; t=9 restart 3"
+//   --transport raw|reliable  message transport (default raw); reliable
+//                           interposes the ack/retransmit layer per node
 //   --stall X               liveness stall threshold (sim units); X < 0
 //                           disables the monitor, omit for auto
 //   --csv                   emit CSV instead of an aligned table
@@ -41,6 +43,7 @@ struct CliOptions {
   double jitter = 0.0;
   std::map<std::string, double> loss_by_type;
   std::string fault_plan;
+  TransportKind transport = TransportKind::kRaw;
   double stall_threshold = 0.0;  ///< See ExperimentConfig::stall_threshold.
   bool csv = false;
   bool list = false;

@@ -72,6 +72,21 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   }
 
   runtime::Cluster cluster(cfg.n_nodes, make_delay(cfg), cfg.seed ^ 0x5eedULL);
+  if (cfg.transport == TransportKind::kReliable) {
+    auto tc = net::ReliableTransportConfig::scaled_to(
+        sim::SimTime::units(cfg.t_msg));
+    tc.ack_delay = sim::SimTime::units(
+        cfg.params.get_num("ack_delay", tc.ack_delay.to_units()));
+    tc.rto_initial = sim::SimTime::units(
+        cfg.params.get_num("rto_initial", tc.rto_initial.to_units()));
+    tc.rto_max = sim::SimTime::units(
+        cfg.params.get_num("rto_max", tc.rto_max.to_units()));
+    tc.backoff_factor = cfg.params.get_num("rto_backoff", tc.backoff_factor);
+    tc.jitter_frac = cfg.params.get_num("rto_jitter", tc.jitter_frac);
+    tc.max_retries = static_cast<int>(
+        cfg.params.get_num("max_retries", tc.max_retries));
+    cluster.use_reliable_transport(tc);
+  }
   for (const auto& [type, p] : cfg.loss_by_type) {
     // Every shipped message type registers its kind during static
     // initialization, so an unknown name here is a configuration typo (e.g.
@@ -237,6 +252,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         static_cast<double>(net_stats.sent);
   }
 
+  r.transport = cluster.transport_stats();
   r.safety_violations = monitor.violations();
   r.max_occupancy = monitor.max_occupancy();
   r.sim_duration_units = cluster.simulator().now().to_units();

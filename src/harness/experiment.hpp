@@ -14,6 +14,7 @@
 
 #include "core/arbiter_mutex.hpp"
 #include "mutex/params.hpp"
+#include "net/reliable_transport.hpp"
 #include "sim/time.hpp"
 #include "stats/histogram.hpp"
 #include "stats/welford.hpp"
@@ -21,6 +22,11 @@
 namespace dmx::harness {
 
 enum class DelayKind { kConstant, kUniform, kExponential };
+
+/// What carries algorithm messages: the raw (lossy) network, or the
+/// per-peer reliability layer (net/reliable_transport.hpp) that gives every
+/// algorithm exactly-once in-order delivery under loss/dup/reorder faults.
+enum class TransportKind { kRaw, kReliable };
 
 struct ExperimentConfig {
   std::string algorithm = "arbiter-tp";
@@ -52,6 +58,11 @@ struct ExperimentConfig {
   ///        threshold derived from the load and recovery timeouts;
   ///   < 0  monitoring off.
   double stall_threshold = 0.0;
+  /// Message transport.  kRaw preserves the pre-transport behavior exactly;
+  /// kReliable interposes a ReliableEndpoint per node, with timing defaults
+  /// scaled to t_msg and overridable via params (ack_delay, rto_initial,
+  /// rto_max, rto_backoff, rto_jitter, max_retries).
+  TransportKind transport = TransportKind::kRaw;
 };
 
 struct ExperimentResult {
@@ -101,6 +112,9 @@ struct ExperimentResult {
 
   // Protocol detail (arbiter-tp only; zero for baselines).
   core::ArbiterStats protocol;
+
+  // Reliability plane (all-zero when transport == kRaw).
+  net::TransportStats transport;
 
   double sim_duration_units = 0.0;
   std::uint64_t sim_events = 0;

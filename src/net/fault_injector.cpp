@@ -68,36 +68,92 @@ std::uint64_t FaultInjector::drop_next(Predicate pred) {
 }
 
 bool FaultInjector::cancel_one_shot(std::uint64_t id) {
-  for (auto it = one_shots_.begin(); it != one_shots_.end(); ++it) {
-    if (it->id == id) {
-      one_shots_.erase(it);
-      return true;
+  for (auto* list : {&one_shots_, &dup_one_shots_}) {
+    for (auto it = list->begin(); it != list->end(); ++it) {
+      if (it->id == id) {
+        list->erase(it);
+        return true;
+      }
     }
   }
   return false;
 }
 
 bool FaultInjector::one_shot_pending(std::uint64_t id) const {
-  for (const auto& os : one_shots_) {
-    if (os.id == id) return true;
+  for (const auto* list : {&one_shots_, &dup_one_shots_}) {
+    for (const auto& os : *list) {
+      if (os.id == id) return true;
+    }
   }
   return false;
 }
 
-std::uint64_t FaultInjector::drop_next_of_kind(MsgKind kind, NodeId src,
-                                               NodeId dst) {
-  return drop_next([kind, src, dst](const Envelope& env) {
-    if (env.payload->kind() != kind) return false;
+namespace {
+
+/// Kind/src/dst match against the logical payload (fault_target unwraps
+/// transport frames), shared by targeted drops and duplications.
+FaultInjector::Predicate kind_predicate(MsgKind kind, NodeId src, NodeId dst) {
+  return [kind, src, dst](const Envelope& env) {
+    if (env.payload->fault_target().kind() != kind) return false;
     if (src.valid() && env.src != src) return false;
     if (dst.valid() && env.dst != dst) return false;
     return true;
-  });
+  };
+}
+
+}  // namespace
+
+std::uint64_t FaultInjector::drop_next_of_kind(MsgKind kind, NodeId src,
+                                               NodeId dst) {
+  return drop_next(kind_predicate(kind, src, dst));
 }
 
 std::uint64_t FaultInjector::drop_next_of_type(std::string_view type_name,
                                                NodeId src, NodeId dst) {
   return drop_next_of_kind(MsgKindRegistry::instance().intern(type_name), src,
                            dst);
+}
+
+std::uint64_t FaultInjector::duplicate_next(Predicate pred) {
+  if (!pred) throw std::invalid_argument("duplicate_next: empty predicate");
+  const std::uint64_t id = next_one_shot_id_++;
+  dup_one_shots_.push_back(OneShot{id, std::move(pred)});
+  return id;
+}
+
+std::uint64_t FaultInjector::duplicate_next_of_kind(MsgKind kind, NodeId src,
+                                                    NodeId dst) {
+  return duplicate_next(kind_predicate(kind, src, dst));
+}
+
+std::uint64_t FaultInjector::duplicate_next_of_type(std::string_view type_name,
+                                                    NodeId src, NodeId dst) {
+  return duplicate_next_of_kind(MsgKindRegistry::instance().intern(type_name),
+                                src, dst);
+}
+
+std::size_t FaultInjector::duplicate_copies(const Envelope& env) {
+  if (dup_one_shots_.empty()) return 0;
+  std::size_t copies = 0;
+  std::erase_if(dup_one_shots_, [&](const OneShot& os) {
+    if (!os.pred(env)) return false;
+    ++copies;
+    return true;
+  });
+  duplicates_injected_ += copies;
+  return copies;
+}
+
+sim::SimTime FaultInjector::reorder_penalty(sim::SimTime base_latency) {
+  if (!reorder_active_) return sim::SimTime::zero();
+  // Alternate messages take a path 2x slower: with the simulator's FIFO
+  // tie-breaking this makes every delayed message arrive strictly after the
+  // (later-sent) next message on the same link.  No RNG draw: an inactive
+  // window is invisible to the loss stream.
+  reorder_toggle_ = !reorder_toggle_;
+  if (!reorder_toggle_) return sim::SimTime::zero();
+  ++reordered_;
+  return base_latency * 2;
 }
 
 void FaultInjector::set_node_down(NodeId node, bool down) {
@@ -140,7 +196,7 @@ DropReason FaultInjector::classify(const Envelope& env, sim::Rng& rng) {
   }
   double p = global_loss_;
   if (any_per_kind_loss_) {
-    const std::size_t i = env.payload->kind().index();
+    const std::size_t i = env.payload->fault_target().kind().index();
     if (i < per_kind_loss_.size() && per_kind_loss_[i] >= 0.0) {
       p = per_kind_loss_[i];
     }

@@ -10,7 +10,15 @@
 // is one vector index, not a string hash.  String-keyed configuration APIs
 // remain (they are the stable public vocabulary) and intern the name into
 // the message-kind registry, so configuring a type before its first message
-// is constructed still matches later traffic.
+// is constructed still matches later traffic.  All kind matching goes
+// through Payload::fault_target(), so a reliability-layer frame wrapping a
+// PRIVILEGE still counts as a PRIVILEGE for loss tables and one-shots.
+//
+// Beyond drops, the injector models the two other classic datagram sins:
+// duplication (duplicate_next: every matching one-shot stacks one extra
+// delivery of the frame) and reordering (a window during which alternate
+// sends take a longer path, overtaking their successors).  Both exist to
+// exercise a reliable transport's dedup and resequencing machinery.
 //
 // Every drop is adjudicated in exactly one place (classify(), first match
 // wins) and counted exactly once, with the cause recorded: a message between
@@ -32,6 +40,7 @@
 #include "net/msg_kind.hpp"
 #include "net/payload.hpp"
 #include "sim/rng.hpp"
+#include "sim/time.hpp"
 
 namespace dmx::net {
 
@@ -86,11 +95,41 @@ class FaultInjector {
   /// One-shot observability: how many drop_next predicates have fired (i.e.
   /// retired by dropping a message), how many are still waiting, and whether
   /// a specific one is still pending (false once fired or cancelled).
+  /// one_shot_pending / cancel_one_shot also cover duplicate_next ids.
   [[nodiscard]] std::uint64_t one_shots_fired() const { return os_fired_; }
   [[nodiscard]] std::size_t one_shots_pending() const {
     return one_shots_.size();
   }
   [[nodiscard]] bool one_shot_pending(std::uint64_t id) const;
+
+  /// Register a predicate that duplicates the first matching (delivered)
+  /// message, then retires.  Unlike drops, duplications stack: N pending
+  /// predicates matching the same message yield N extra copies.  Returns an
+  /// id usable with cancel_one_shot / one_shot_pending.
+  std::uint64_t duplicate_next(Predicate pred);
+  std::uint64_t duplicate_next_of_kind(MsgKind kind, NodeId src = NodeId{},
+                                       NodeId dst = NodeId{});
+  std::uint64_t duplicate_next_of_type(std::string_view type_name,
+                                       NodeId src = NodeId{},
+                                       NodeId dst = NodeId{});
+
+  /// Number of extra copies to inject for this (not dropped) message:
+  /// retires every matching duplicate_next predicate.
+  [[nodiscard]] std::size_t duplicate_copies(const Envelope& env);
+  [[nodiscard]] std::uint64_t duplicates_injected() const {
+    return duplicates_injected_;
+  }
+
+  /// Reorder window: while active, the network routes alternate messages
+  /// over a slower path so they overtake their successors (see
+  /// Network::send).  reorder_penalty() is called by the network per
+  /// eligible send and returns the extra latency (zero for every other
+  /// message); it never touches the RNG, so toggling a window does not
+  /// perturb the loss stream.
+  void set_reorder(bool active) { reorder_active_ = active; }
+  [[nodiscard]] bool reorder_active() const { return reorder_active_; }
+  [[nodiscard]] sim::SimTime reorder_penalty(sim::SimTime base_latency);
+  [[nodiscard]] std::uint64_t reordered_count() const { return reordered_; }
 
   /// Mark a node as down (fail-silent) / back up.
   void set_node_down(NodeId node, bool down);
@@ -134,8 +173,13 @@ class FaultInjector {
     Predicate pred;
   };
   std::vector<OneShot> one_shots_;
+  std::vector<OneShot> dup_one_shots_;
   std::uint64_t next_one_shot_id_ = 1;
   std::uint64_t os_fired_ = 0;
+  std::uint64_t duplicates_injected_ = 0;
+  bool reorder_active_ = false;
+  bool reorder_toggle_ = false;
+  std::uint64_t reordered_ = 0;
   std::unordered_set<NodeId> down_nodes_;
   std::unordered_map<NodeId, int> group_of_;
   std::uint64_t dropped_ = 0;

@@ -65,11 +65,26 @@ void Network::send(NodeId src, NodeId dst, PayloadPtr payload) {
     return;
   }
 
-  const sim::SimTime latency =
+  const sim::SimTime base =
       delay_->delay(src, dst, env.payload->size_hint(), rng_);
+  // An active reorder window routes alternate frames over a 2x-slower path,
+  // making them overtake later sends on the same link; zero when inactive.
+  const sim::SimTime latency = base + faults_.reorder_penalty(base);
   env.delivered_at = sim_.now() + latency;
-  sim_.schedule_after(latency,
-                      [this, env = std::move(env)]() mutable { deliver(std::move(env)); });
+
+  // Fault-layer duplication: each retired duplicate_next one-shot injects one
+  // extra copy of this very frame (same msg_id), arriving at the same instant
+  // but after the original (FIFO tie-break) — the classic duplicated datagram
+  // a reliable transport must suppress.  No-op (and no state touched) when no
+  // duplicate one-shots are pending.
+  const std::size_t copies = faults_.duplicate_copies(env);
+  stats_.duplicated += copies;
+  for (std::size_t c = 0; c <= copies; ++c) {
+    Envelope copy = env;
+    sim_.schedule_after(latency, [this, copy = std::move(copy)]() mutable {
+      deliver(std::move(copy));
+    });
+  }
 }
 
 void Network::broadcast(NodeId src, const PayloadPtr& payload) {

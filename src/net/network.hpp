@@ -18,6 +18,7 @@
 #include "net/fault_injector.hpp"
 #include "net/msg_kind.hpp"
 #include "net/payload.hpp"
+#include "net/transport.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "stats/counter_map.hpp"
@@ -34,6 +35,7 @@ struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  ///< Extra copies injected by the fault layer.
   std::uint64_t bytes_sent = 0;  ///< Sum of payload size_hint()s.
   stats::KindCounter sent_by_kind;
 
@@ -42,12 +44,12 @@ struct NetworkStats {
   [[nodiscard]] stats::CounterMap sent_by_type() const;
 
   void reset() {
-    sent = delivered = dropped = bytes_sent = 0;
+    sent = delivered = dropped = duplicated = bytes_sent = 0;
     sent_by_kind.reset();
   }
 };
 
-class Network {
+class Network : public Transport {
  public:
   /// Observes every send (after fault adjudication; `dropped` tells the fate).
   using Tap = std::function<void(const Envelope&, bool dropped)>;
@@ -67,10 +69,10 @@ class Network {
 
   /// Send a payload from src to dst.  Counted even if dropped in flight
   /// (it was "generated"); drops are also counted separately.
-  void send(NodeId src, NodeId dst, PayloadPtr payload);
+  void send(NodeId src, NodeId dst, PayloadPtr payload) override;
 
   /// Send to every attached node except src.  N-1 transmissions.
-  void broadcast(NodeId src, const PayloadPtr& payload);
+  void broadcast(NodeId src, const PayloadPtr& payload) override;
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   NetworkStats& mutable_stats() { return stats_; }

@@ -45,6 +45,13 @@ class Payload {
   /// the paper's constant-delay model ignores it.
   [[nodiscard]] virtual std::size_t size_hint() const { return 16; }
 
+  /// The payload that fault configuration should match against.  Transport
+  /// frames carrying an inner algorithm message (see
+  /// net/reliable_transport.hpp) return the inner payload, so per-type loss
+  /// ("loss PRIVILEGE=0.2") and targeted faults ("lose-next PRIVILEGE")
+  /// keep addressing logical protocol messages regardless of transport.
+  [[nodiscard]] virtual const Payload& fault_target() const { return *this; }
+
  protected:
   explicit Payload(MsgKind kind) : kind_(kind) {}
 

@@ -1,0 +1,313 @@
+#include "net/reliable_transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dmx::net {
+
+ReliableTransportConfig ReliableTransportConfig::scaled_to(sim::SimTime t_msg) {
+  ReliableTransportConfig cfg;
+  cfg.ack_delay = t_msg.scaled(0.5);
+  cfg.rto_initial = t_msg.scaled(3.0);
+  cfg.rto_max = t_msg.scaled(48.0);
+  return cfg;
+}
+
+void TransportStats::merge(const TransportStats& o) {
+  data_sent += o.data_sent;
+  retransmits += o.retransmits;
+  acks_sent += o.acks_sent;
+  dup_dropped += o.dup_dropped;
+  reorder_buffered += o.reorder_buffered;
+  stale_dropped += o.stale_dropped;
+  abandoned += o.abandoned;
+  retrans_by_kind.merge(o.retrans_by_kind);
+  dup_dropped_by_kind.merge(o.dup_dropped_by_kind);
+}
+
+std::string RtData::describe() const {
+  std::ostringstream os;
+  os << "RT-DATA seq=" << seq << " e=" << src_epoch << ">" << dst_epoch
+     << " cum=" << cum_ack;
+  if (sack_mask != 0) os << " sack=0x" << std::hex << sack_mask << std::dec;
+  if (is_retransmit) os << " rtx";
+  os << " [" << inner->describe() << "]";
+  return os.str();
+}
+
+std::string RtAck::describe() const {
+  std::ostringstream os;
+  os << "RT-ACK e=" << src_epoch << ">" << dst_epoch << " cum=" << cum_ack;
+  if (sack_mask != 0) os << " sack=0x" << std::hex << sack_mask << std::dec;
+  return os.str();
+}
+
+ReliableEndpoint::ReliableEndpoint(Network& net, NodeId self,
+                                   MessageHandler& upper,
+                                   ReliableTransportConfig cfg,
+                                   std::uint64_t rng_seed)
+    : net_(net), sim_(net.simulator()), self_(self), upper_(upper), cfg_(cfg),
+      rng_(rng_seed), peers_(net.size()) {
+  if (!self.valid() || self.index() >= net.size()) {
+    throw std::out_of_range("ReliableEndpoint: node id out of range");
+  }
+  for (auto& ps : peers_) ps.rto = cfg_.rto_initial;
+}
+
+void ReliableEndpoint::send(NodeId src, NodeId dst, PayloadPtr payload) {
+  if (src != self_) {
+    throw std::invalid_argument("ReliableEndpoint::send: src is not owner");
+  }
+  if (dst == self_) {
+    // Self-traffic needs no reliability machinery (the network never drops
+    // or reorders a node's messages to itself); forward raw so delivery
+    // timing matches the raw transport exactly.
+    net_.send(src, dst, std::move(payload));
+    return;
+  }
+  PeerState& ps = peer_state(dst);
+  ps.window.push_back(Unacked{ps.next_seq++, std::move(payload), 0});
+  ++stats_.data_sent;
+  transmit(ps, dst, ps.window.back(), /*is_retransmit=*/false);
+  if (!ps.rto_event.valid() || !sim_.pending(ps.rto_event)) arm_rto(dst);
+}
+
+void ReliableEndpoint::broadcast(NodeId src, const PayloadPtr& payload) {
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    const NodeId dst{static_cast<std::int32_t>(i)};
+    if (dst == src) continue;
+    send(src, dst, payload);
+  }
+}
+
+void ReliableEndpoint::transmit(PeerState& ps, NodeId dst, const Unacked& u,
+                                bool is_retransmit) {
+  // Piggyback the reverse-path ack state; a pending delayed ack becomes
+  // redundant the moment this frame leaves.
+  if (ps.ack_event.valid()) {
+    sim_.cancel(ps.ack_event);
+    ps.ack_event = sim::EventId{};
+  }
+  net_.send(self_, dst,
+            make_payload<RtData>(epoch_, ps.peer_epoch, u.seq, ps.cum,
+                                 sack_mask(ps), is_retransmit, u.inner));
+}
+
+void ReliableEndpoint::on_message(const Envelope& env) {
+  if (down_) return;
+  if (const auto* d = env.as<RtData>()) {
+    handle_data(env, *d);
+  } else if (const auto* a = env.as<RtAck>()) {
+    handle_ack(env.src, *a);
+  } else {
+    // Unwrapped traffic (self-sends bypass the layer); pass straight up.
+    upper_.on_message(env);
+  }
+}
+
+void ReliableEndpoint::note_peer_epoch(NodeId peer, std::uint32_t e) {
+  PeerState& ps = peer_state(peer);
+  if (e <= ps.peer_epoch) return;
+  // The peer restarted: every unacked frame in the window addresses an
+  // incarnation that no longer exists.  Fence — abandon, never replay — and
+  // restart the sequence space, matching the fresh rx state the new
+  // incarnation holds for us.
+  stats_.abandoned += ps.window.size();
+  ps.window.clear();
+  ps.next_seq = 1;
+  ps.rto = cfg_.rto_initial;
+  if (ps.rto_event.valid()) {
+    sim_.cancel(ps.rto_event);
+    ps.rto_event = sim::EventId{};
+  }
+  ps.peer_epoch = e;
+}
+
+void ReliableEndpoint::handle_data(const Envelope& env, const RtData& d) {
+  // Frames addressed to a previous incarnation of this node are fenced, and
+  // the sender is told the current epoch so it stops retransmitting them.
+  if (d.dst_epoch != epoch_) {
+    ++stats_.stale_dropped;
+    ++stats_.acks_sent;
+    net_.send(self_, env.src,
+              make_payload<RtAck>(epoch_, d.src_epoch, 0, 0));
+    return;
+  }
+  note_peer_epoch(env.src, d.src_epoch);
+  PeerState& ps = peer_state(env.src);
+
+  if (d.src_epoch < ps.rx_epoch) {  // Old incarnation of the peer.
+    ++stats_.stale_dropped;
+    return;
+  }
+  if (d.src_epoch > ps.rx_epoch) {  // New incarnation: fresh sequence space.
+    ps.rx_epoch = d.src_epoch;
+    ps.cum = 0;
+    ps.buffer.clear();
+  }
+
+  // Piggybacked ack, valid only from the incarnation our window addresses.
+  if (d.src_epoch == ps.peer_epoch) apply_ack(ps, d.cum_ack, d.sack_mask);
+
+  if (d.seq <= ps.cum || ps.buffer.contains(d.seq)) {
+    // Duplicate (fault-injected copy, or a retransmission whose original
+    // got through).  Suppress, but still ack: the sender may be resending
+    // precisely because our ack was lost.
+    ++stats_.dup_dropped;
+    stats_.dup_dropped_by_kind.increment(d.inner->kind().index());
+    schedule_ack(env.src);
+    return;
+  }
+
+  if (d.seq != ps.cum + 1) ++stats_.reorder_buffered;
+  ps.buffer.emplace(d.seq, Buffered{d.inner, env.sent_at, env.msg_id});
+  deliver_ready(env.src, ps);
+  schedule_ack(env.src);
+}
+
+void ReliableEndpoint::deliver_ready(NodeId peer, PeerState& ps) {
+  while (!ps.buffer.empty() && ps.buffer.begin()->first == ps.cum + 1) {
+    Buffered b = std::move(ps.buffer.begin()->second);
+    ps.buffer.erase(ps.buffer.begin());
+    ++ps.cum;
+    Envelope up;
+    up.src = peer;
+    up.dst = self_;
+    up.sent_at = b.sent_at;
+    up.delivered_at = sim_.now();
+    up.msg_id = b.msg_id;
+    up.payload = std::move(b.inner);
+    upper_.on_message(up);
+    if (down_) return;  // The upcall may have crashed us (test harnesses).
+  }
+}
+
+void ReliableEndpoint::handle_ack(NodeId peer, const RtAck& a) {
+  if (a.dst_epoch != epoch_) {
+    ++stats_.stale_dropped;
+    return;
+  }
+  note_peer_epoch(peer, a.src_epoch);
+  PeerState& ps = peer_state(peer);
+  // Acks from an older incarnation describe a dead sequence space; applying
+  // one after a fence could wrongly retire fresh frames.
+  if (a.src_epoch == ps.peer_epoch) apply_ack(ps, a.cum_ack, a.sack_mask);
+}
+
+void ReliableEndpoint::apply_ack(PeerState& ps, std::uint64_t cum,
+                                 std::uint64_t sack) {
+  bool progress = false;
+  while (!ps.window.empty() && ps.window.front().seq <= cum) {
+    ps.window.pop_front();
+    progress = true;
+  }
+  if (sack != 0) {
+    const auto sacked = [&](const Unacked& u) {
+      return u.seq > cum && u.seq <= cum + 64 &&
+             ((sack >> (u.seq - cum - 1)) & 1) != 0;
+    };
+    const auto n = std::erase_if(ps.window, sacked);
+    progress = progress || n > 0;
+  }
+  if (!progress) return;
+  ps.rto = cfg_.rto_initial;
+  if (ps.rto_event.valid()) {
+    sim_.cancel(ps.rto_event);
+    ps.rto_event = sim::EventId{};
+  }
+  if (!ps.window.empty()) {
+    // Re-find the peer index for the timer callback.
+    const auto idx = static_cast<std::size_t>(&ps - peers_.data());
+    arm_rto(NodeId{static_cast<std::int32_t>(idx)});
+  }
+}
+
+std::uint64_t ReliableEndpoint::sack_mask(const PeerState& ps) const {
+  std::uint64_t mask = 0;
+  for (const auto& [seq, b] : ps.buffer) {
+    if (seq > ps.cum + 64) break;  // Map iterates in seq order.
+    mask |= 1ULL << (seq - ps.cum - 1);
+  }
+  return mask;
+}
+
+void ReliableEndpoint::schedule_ack(NodeId peer) {
+  PeerState& ps = peer_state(peer);
+  if (ps.ack_event.valid() && sim_.pending(ps.ack_event)) return;
+  ps.ack_event = sim_.schedule_after(
+      cfg_.ack_delay, [this, peer] { send_standalone_ack(peer); });
+}
+
+void ReliableEndpoint::send_standalone_ack(NodeId peer) {
+  if (down_) return;
+  PeerState& ps = peer_state(peer);
+  ps.ack_event = sim::EventId{};
+  ++stats_.acks_sent;
+  net_.send(self_, peer,
+            make_payload<RtAck>(epoch_, ps.rx_epoch, ps.cum, sack_mask(ps)));
+}
+
+void ReliableEndpoint::arm_rto(NodeId peer) {
+  PeerState& ps = peer_state(peer);
+  // Seeded jitter decorrelates retransmit bursts across endpoints without
+  // breaking determinism (each endpoint owns a forked Rng).
+  const sim::SimTime delay =
+      ps.rto.scaled(1.0 + cfg_.jitter_frac * rng_.uniform01());
+  ps.rto_event = sim_.schedule_after(delay, [this, peer] { on_rto(peer); });
+}
+
+void ReliableEndpoint::on_rto(NodeId peer) {
+  if (down_) return;
+  PeerState& ps = peer_state(peer);
+  ps.rto_event = sim::EventId{};
+  if (ps.window.empty()) return;
+
+  if (ps.window.front().retries >= cfg_.max_retries) {
+    // Retry cap: presume the peer dead and abandon everything outstanding.
+    // If it ever comes back, the epoch exchange resynchronises the link.
+    stats_.abandoned += ps.window.size();
+    ps.window.clear();
+    ps.rto = cfg_.rto_initial;
+    return;
+  }
+  for (auto& u : ps.window) {
+    ++u.retries;
+    ++stats_.retransmits;
+    stats_.retrans_by_kind.increment(u.inner->kind().index());
+    transmit(ps, peer, u, /*is_retransmit=*/true);
+  }
+  const sim::SimTime backed = ps.rto.scaled(cfg_.backoff_factor);
+  ps.rto = std::min(backed, cfg_.rto_max);
+  arm_rto(peer);
+}
+
+void ReliableEndpoint::on_crash() {
+  down_ = true;
+  for (auto& ps : peers_) {
+    if (ps.rto_event.valid()) sim_.cancel(ps.rto_event);
+    if (ps.ack_event.valid()) sim_.cancel(ps.ack_event);
+    ps.rto_event = sim::EventId{};
+    ps.ack_event = sim::EventId{};
+  }
+}
+
+void ReliableEndpoint::on_restart() {
+  ++epoch_;
+  for (auto& ps : peers_) {
+    // The old incarnation's outbound state dies with it...
+    stats_.abandoned += ps.window.size();
+    ps.window.clear();
+    ps.next_seq = 1;
+    ps.rto = cfg_.rto_initial;
+    // ...and so does its receive state: rx_epoch 0 re-adopts whatever the
+    // peer sends next.  peer_epoch survives — it is knowledge about the
+    // *peer*, and keeping it avoids a gratuitous fence round-trip.
+    ps.rx_epoch = 0;
+    ps.cum = 0;
+    ps.buffer.clear();
+  }
+  down_ = false;
+}
+
+}  // namespace dmx::net

@@ -1,0 +1,210 @@
+// Per-peer sliding-window reliability layer between Process and Network.
+//
+// The raw network is a fair-weather datagram service: the FaultInjector may
+// drop, duplicate or reorder any frame.  The paper handles that inside the
+// arbiter protocol itself (Section 6 timeouts and NEW-ARBITER enquiry); the
+// other baselines assume lossless FIFO channels and simply stall when a
+// PRIVILEGE or REPLY evaporates.  A ReliableEndpoint gives every algorithm
+// the transport those papers assume:
+//
+//   * monotonic per-(src,dst) sequence numbers on RT-DATA frames;
+//   * cumulative + selective acks, piggybacked on reverse-path data and
+//     otherwise sent standalone after a delayed-ack timer;
+//   * retransmission on a per-peer timer with exponential backoff, seeded
+//     deterministic jitter, and a retry cap (the peer is presumed dead and
+//     the window abandoned — a later epoch exchange resynchronises);
+//   * receive-side dedup and reorder buffering, so the algorithm above
+//     observes exactly-once, in-order delivery per peer.
+//
+// Crash fencing.  Sequence numbers only mean something within one
+// incarnation of each endpoint, so every frame carries an epoch pair:
+// src_epoch (the sender's incarnation) and dst_epoch (the sender's view of
+// the receiver's).  A restarted node bumps its epoch; frames addressed to a
+// previous incarnation are counted stale_dropped and answered with a
+// standalone RT-ACK announcing the new epoch, which makes the sender fence:
+// abandon its window and restart its sequence space, rather than replaying
+// old-world traffic into the new incarnation.  Acks are likewise only
+// applied when they come from the incarnation the current window addresses.
+//
+// Everything is deterministic: timers run on the simulation clock and
+// retransmit jitter comes from a seeded per-endpoint Rng, so a (seed,
+// config) pair fully determines a lossy run — golden traces hold.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/payload.hpp"
+#include "net/transport.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "stats/kind_counter.hpp"
+
+namespace dmx::net {
+
+/// Reliability-layer tuning.  Defaults suit the paper's T_msg = 0.1 units;
+/// scaled_to() derives the same proportions for any message delay.
+struct ReliableTransportConfig {
+  sim::SimTime ack_delay = sim::SimTime::units(0.05);    ///< Delayed-ack wait.
+  sim::SimTime rto_initial = sim::SimTime::units(0.3);   ///< First timeout.
+  sim::SimTime rto_max = sim::SimTime::units(4.8);       ///< Backoff ceiling.
+  double backoff_factor = 2.0;   ///< RTO multiplier per consecutive timeout.
+  double jitter_frac = 0.1;      ///< RTO *= 1 + jitter_frac * U[0,1).
+  int max_retries = 12;          ///< Retransmissions per frame before abandon.
+
+  /// Proportional defaults for a given one-way message delay: half a delay
+  /// of ack batching, an RTO of three delays (one round trip plus slack),
+  /// and a ceiling that keeps a dead peer from being probed forever.
+  [[nodiscard]] static ReliableTransportConfig scaled_to(sim::SimTime t_msg);
+};
+
+/// Reliability-plane counters for one endpoint (merged per cluster for the
+/// sweep tables).  Per-kind counters are indexed by the *inner* payload kind,
+/// so "retransmits of PRIVILEGE" is a first-class statistic.
+struct TransportStats {
+  std::uint64_t data_sent = 0;     ///< Fresh RT-DATA frames.
+  std::uint64_t retransmits = 0;   ///< RT-DATA frames resent on timeout.
+  std::uint64_t acks_sent = 0;     ///< Standalone RT-ACK frames.
+  std::uint64_t dup_dropped = 0;   ///< Frames suppressed as duplicates.
+  std::uint64_t reorder_buffered = 0;  ///< Out-of-order frames parked.
+  std::uint64_t stale_dropped = 0;     ///< Wrong-epoch frames fenced.
+  std::uint64_t abandoned = 0;     ///< Payloads given up at the retry cap
+                                   ///< or fenced by an epoch change.
+  stats::KindCounter retrans_by_kind;      ///< By inner payload kind.
+  stats::KindCounter dup_dropped_by_kind;  ///< By inner payload kind.
+
+  void merge(const TransportStats& o);
+};
+
+/// Sequenced data frame.  Wraps one algorithm payload; fault configuration
+/// keyed by message type matches the inner payload (fault_target()).
+struct RtData final : Msg<RtData> {
+  DMX_REGISTER_MESSAGE(RtData, "RT-DATA");
+
+  RtData(std::uint32_t se, std::uint32_t de, std::uint64_t sequence,
+         std::uint64_t cum, std::uint64_t sack, bool rtx, PayloadPtr payload)
+      : src_epoch(se), dst_epoch(de), seq(sequence), cum_ack(cum),
+        sack_mask(sack), is_retransmit(rtx), inner(std::move(payload)) {}
+
+  std::uint32_t src_epoch;
+  std::uint32_t dst_epoch;
+  std::uint64_t seq;
+  std::uint64_t cum_ack;    ///< Reverse path: all peer seqs <= this received.
+  std::uint64_t sack_mask;  ///< Bit i: peer seq cum_ack+1+i received.
+  bool is_retransmit;
+  PayloadPtr inner;
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t size_hint() const override {
+    return 28 + inner->size_hint();  // epochs + seq + cum + sack + flag.
+  }
+  [[nodiscard]] const Payload& fault_target() const override { return *inner; }
+};
+
+/// Standalone acknowledgement (delayed-ack timer fired, or an epoch
+/// announcement in reply to a stale frame).
+struct RtAck final : Msg<RtAck> {
+  DMX_REGISTER_MESSAGE(RtAck, "RT-ACK");
+
+  RtAck(std::uint32_t se, std::uint32_t de, std::uint64_t cum,
+        std::uint64_t sack)
+      : src_epoch(se), dst_epoch(de), cum_ack(cum), sack_mask(sack) {}
+
+  std::uint32_t src_epoch;
+  std::uint32_t dst_epoch;
+  std::uint64_t cum_ack;
+  std::uint64_t sack_mask;
+
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::size_t size_hint() const override { return 24; }
+};
+
+/// One node's end of the reliability layer.  Implements Transport for the
+/// Process above it and MessageHandler for the Network below it; the Cluster
+/// attaches it to the network in place of the Process and points the
+/// Process's transport at it.
+class ReliableEndpoint final : public Transport, public MessageHandler {
+ public:
+  ReliableEndpoint(Network& net, NodeId self, MessageHandler& upper,
+                   ReliableTransportConfig cfg, std::uint64_t rng_seed);
+
+  // Transport: downcalls from the Process.  src must equal the owning node.
+  void send(NodeId src, NodeId dst, PayloadPtr payload) override;
+  void broadcast(NodeId src, const PayloadPtr& payload) override;
+
+  // MessageHandler: raw frames up from the Network.
+  void on_message(const Envelope& env) override;
+
+  /// Crash lifecycle, driven by the Cluster in lockstep with the Process.
+  /// on_restart() bumps the epoch and must run before the Process's own
+  /// restart hook, so rejoin traffic already carries the new incarnation.
+  void on_crash();
+  void on_restart();
+
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  struct Unacked {
+    std::uint64_t seq;
+    PayloadPtr inner;
+    int retries = 0;
+  };
+  struct Buffered {
+    PayloadPtr inner;
+    sim::SimTime sent_at;
+    std::uint64_t msg_id;
+  };
+  struct PeerState {
+    // --- transmit side.
+    std::uint32_t peer_epoch = 1;  ///< Our view of the peer's incarnation.
+    std::uint64_t next_seq = 1;
+    std::deque<Unacked> window;
+    sim::SimTime rto;  ///< Current timeout (backs off; resets on progress).
+    sim::EventId rto_event;
+    // --- receive side.
+    std::uint32_t rx_epoch = 0;  ///< Incarnation this rx state belongs to.
+    std::uint64_t cum = 0;       ///< Highest contiguously delivered seq.
+    std::map<std::uint64_t, Buffered> buffer;  ///< Out-of-order frames.
+    sim::EventId ack_event;      ///< Pending delayed-ack timer.
+  };
+
+  void handle_data(const Envelope& env, const RtData& d);
+  void handle_ack(NodeId peer, const RtAck& a);
+
+  /// Record a newly observed peer incarnation; if it is newer than the one
+  /// our window addresses, fence: abandon the window and restart the
+  /// sequence space (the new incarnation's rx state starts from zero).
+  void note_peer_epoch(NodeId peer, std::uint32_t e);
+
+  /// Retire window entries covered by (cum, sack); on progress the RTO
+  /// resets to its initial value.
+  void apply_ack(PeerState& ps, std::uint64_t cum, std::uint64_t sack);
+
+  void deliver_ready(NodeId peer, PeerState& ps);
+  void transmit(PeerState& ps, NodeId dst, const Unacked& u,
+                bool is_retransmit);
+  void schedule_ack(NodeId peer);
+  void send_standalone_ack(NodeId peer);
+  void arm_rto(NodeId peer);
+  void on_rto(NodeId peer);
+  [[nodiscard]] std::uint64_t sack_mask(const PeerState& ps) const;
+  PeerState& peer_state(NodeId peer) { return peers_[peer.index()]; }
+
+  Network& net_;
+  sim::Simulator& sim_;
+  NodeId self_;
+  MessageHandler& upper_;
+  ReliableTransportConfig cfg_;
+  sim::Rng rng_;
+  std::uint32_t epoch_ = 1;
+  bool down_ = false;
+  std::vector<PeerState> peers_;
+  TransportStats stats_;
+};
+
+}  // namespace dmx::net

@@ -1,0 +1,26 @@
+// Transport abstraction: where a Process hands off outgoing messages.
+//
+// The raw transport is the Network itself — fire-and-forget datagrams that
+// the FaultInjector may drop, duplicate or reorder.  A reliability layer
+// (net/reliable_transport.hpp) implements the same interface and slots
+// between the Process and the Network, so algorithms are written once
+// against send()/broadcast() and run unchanged over either service model.
+#pragma once
+
+#include "net/node_id.hpp"
+#include "net/payload.hpp"
+
+namespace dmx::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Hand one payload from src to dst for (eventual) delivery.
+  virtual void send(NodeId src, NodeId dst, PayloadPtr payload) = 0;
+
+  /// Hand one payload to every other node.  N-1 logical transmissions.
+  virtual void broadcast(NodeId src, const PayloadPtr& payload) = 0;
+};
+
+}  // namespace dmx::net

@@ -7,7 +7,8 @@ Cluster::Cluster(std::size_t n_nodes, std::unique_ptr<net::DelayModel> delay,
     : owned_sim_(std::make_unique<sim::Simulator>()), sim_(owned_sim_.get()),
       net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
                                           seed)),
-      tracer_(std::move(tracer)), processes_(n_nodes) {}
+      tracer_(std::move(tracer)), processes_(n_nodes), endpoints_(n_nodes),
+      seed_(seed) {}
 
 Cluster::Cluster(sim::Simulator& shared_sim, std::size_t n_nodes,
                  std::unique_ptr<net::DelayModel> delay, std::uint64_t seed,
@@ -15,7 +16,34 @@ Cluster::Cluster(sim::Simulator& shared_sim, std::size_t n_nodes,
     : sim_(&shared_sim),
       net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
                                           seed)),
-      tracer_(std::move(tracer)), processes_(n_nodes) {}
+      tracer_(std::move(tracer)), processes_(n_nodes), endpoints_(n_nodes),
+      seed_(seed) {}
+
+void Cluster::use_reliable_transport(net::ReliableTransportConfig cfg) {
+  for (const auto& p : processes_) {
+    if (p != nullptr) {
+      throw std::logic_error(
+          "Cluster::use_reliable_transport: must precede install()");
+    }
+  }
+  transport_cfg_ = cfg;
+  reliable_ = true;
+}
+
+net::ReliableEndpoint* Cluster::endpoint(net::NodeId id) const {
+  if (!id.valid() || id.index() >= endpoints_.size()) {
+    throw std::out_of_range("Cluster::endpoint: node id out of range");
+  }
+  return endpoints_[id.index()].get();
+}
+
+net::TransportStats Cluster::transport_stats() const {
+  net::TransportStats total;
+  for (const auto& ep : endpoints_) {
+    if (ep != nullptr) total.merge(ep->stats());
+  }
+  return total;
+}
 
 Process* Cluster::install(net::NodeId id, std::unique_ptr<Process> process) {
   if (!id.valid() || id.index() >= processes_.size()) {
@@ -26,7 +54,20 @@ Process* Cluster::install(net::NodeId id, std::unique_ptr<Process> process) {
     throw std::logic_error("Cluster::install: slot already filled");
   }
   process->bind(this, net_.get(), id, tracer_);
-  net_->attach(id, process.get());
+  if (reliable_) {
+    // The endpoint takes the process's place on the wire; the process sends
+    // through it and sees only deduped, in-order traffic.  Each endpoint
+    // gets an independent deterministic jitter stream derived from the
+    // cluster seed and its node id.
+    const std::uint64_t ep_seed =
+        seed_ ^ (0x9e3779b97f4a7c15ULL * (id.index() + 2));
+    endpoints_[id.index()] = std::make_unique<net::ReliableEndpoint>(
+        *net_, id, *process, transport_cfg_, ep_seed);
+    process->set_transport(endpoints_[id.index()].get());
+    net_->attach(id, endpoints_[id.index()].get());
+  } else {
+    net_->attach(id, process.get());
+  }
   processes_[id.index()] = std::move(process);
   return processes_[id.index()].get();
 }
@@ -50,8 +91,16 @@ void Cluster::start() {
   for (auto& p : processes_) p->start();
 }
 
-void Cluster::crash_node(net::NodeId id) { process(id)->crash(); }
+void Cluster::crash_node(net::NodeId id) {
+  process(id)->crash();
+  if (auto* ep = endpoints_[id.index()].get()) ep->on_crash();
+}
 
-void Cluster::restart_node(net::NodeId id) { process(id)->restart(); }
+void Cluster::restart_node(net::NodeId id) {
+  // Epoch bump first: any rejoin traffic the process emits from its restart
+  // hook must already carry the new incarnation.
+  if (auto* ep = endpoints_[id.index()].get()) ep->on_restart();
+  process(id)->restart();
+}
 
 }  // namespace dmx::runtime

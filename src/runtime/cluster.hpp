@@ -7,6 +7,7 @@
 
 #include "net/delay_model.hpp"
 #include "net/network.hpp"
+#include "net/reliable_transport.hpp"
 #include "runtime/process.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
@@ -34,6 +35,19 @@ class Cluster {
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
   [[nodiscard]] net::Network& network() { return *net_; }
   [[nodiscard]] const trace::Tracer& tracer() const { return tracer_; }
+
+  /// Interpose a ReliableEndpoint between every process and the network.
+  /// Must be called before the first install(); each installed process then
+  /// sends through its endpoint and receives exactly-once, in-order traffic.
+  void use_reliable_transport(net::ReliableTransportConfig cfg);
+  [[nodiscard]] bool reliable_transport() const { return reliable_; }
+
+  /// The reliability endpoint of a node (null when running raw).
+  [[nodiscard]] net::ReliableEndpoint* endpoint(net::NodeId id) const;
+
+  /// Cluster-wide merge of all endpoints' reliability counters (empty stats
+  /// when running raw).
+  [[nodiscard]] net::TransportStats transport_stats() const;
 
   /// Install the process for a node slot.  All slots must be filled before
   /// start().  Returns a non-owning pointer to the installed process.
@@ -64,6 +78,10 @@ class Cluster {
   std::unique_ptr<net::Network> net_;
   trace::Tracer tracer_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<net::ReliableEndpoint>> endpoints_;
+  net::ReliableTransportConfig transport_cfg_;
+  std::uint64_t seed_;
+  bool reliable_ = false;
   bool started_ = false;
 };
 

@@ -17,6 +17,7 @@ void Process::bind(Cluster* cluster, net::Network* net, net::NodeId id,
                    trace::Tracer tracer) {
   cluster_ = cluster;
   net_ = net;
+  transport_ = net;  // Raw by default; Cluster may interpose a reliable layer.
   id_ = id;
   tracer_ = std::move(tracer);
 }

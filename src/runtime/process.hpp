@@ -68,11 +68,13 @@ class Process : public net::MessageHandler {
   [[nodiscard]] net::Network& network() const { return *net_; }
   [[nodiscard]] sim::SimTime now() const;
 
+  /// Outgoing traffic goes through the bound transport: the raw network by
+  /// default, or a reliability layer when the cluster installs one.
   void send(net::NodeId dst, net::PayloadPtr payload) const {
-    net_->send(id_, dst, std::move(payload));
+    transport_->send(id_, dst, std::move(payload));
   }
   void broadcast(const net::PayloadPtr& payload) const {
-    net_->broadcast(id_, payload);
+    transport_->broadcast(id_, payload);
   }
 
   /// Schedule a callback `delay` from now.  Fires only if the process is
@@ -92,9 +94,11 @@ class Process : public net::MessageHandler {
   friend class Cluster;
   void bind(Cluster* cluster, net::Network* net, net::NodeId id,
             trace::Tracer tracer);
+  void set_transport(net::Transport* t) { transport_ = t; }
 
   Cluster* cluster_ = nullptr;
   net::Network* net_ = nullptr;
+  net::Transport* transport_ = nullptr;
   net::NodeId id_;
   trace::Tracer tracer_;
   bool crashed_ = false;

@@ -46,6 +46,15 @@ TEST(Cli, ParsesEverything) {
   EXPECT_TRUE(o.csv);
 }
 
+TEST(Cli, ParsesTransportKind) {
+  EXPECT_EQ(parse({}).transport, TransportKind::kRaw);
+  EXPECT_EQ(parse({"--transport", "raw"}).transport, TransportKind::kRaw);
+  EXPECT_EQ(parse({"--transport", "reliable"}).transport,
+            TransportKind::kReliable);
+  EXPECT_THROW(parse({"--transport", "tcp"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--transport"}), std::invalid_argument);
+}
+
 TEST(Cli, HelpAndList) {
   EXPECT_TRUE(parse({"--help"}).help);
   EXPECT_TRUE(parse({"-h"}).help);

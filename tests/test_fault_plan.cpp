@@ -103,6 +103,47 @@ TEST(FaultPlanParse, DisruptiveClassification) {
   EXPECT_FALSE(plan.actions[6].disruptive());  // heal
 }
 
+TEST(FaultPlanParse, DupNextRoundTripsAndClassifies) {
+  const FaultPlan plan = FaultPlan::parse(
+      "t=3 dup-next PRIVILEGE; t=7 dup-next REQUEST from=1 to=0");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::kDupNext);
+  EXPECT_EQ(plan.actions[0].msg_type, "PRIVILEGE");
+  EXPECT_EQ(plan.actions[1].src, 1);
+  EXPECT_EQ(plan.actions[1].dst, 0);
+  // Duplication never opens a recovery window: the dedup layer (or an
+  // idempotent handler) absorbs the extra copy without losing progress.
+  EXPECT_FALSE(plan.actions[0].disruptive());
+  EXPECT_EQ(FaultPlan::parse(plan.to_string()).to_string(), plan.to_string());
+  EXPECT_THROW(FaultPlan::parse("t=3 dup-next"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("t=3 dup-next PRIVILEGE from=x"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanParse, ReorderWindowRoundTripsAndValidates) {
+  const FaultPlan plan =
+      FaultPlan::parse("reorder-window t=2..8; t=1 loss *=0.1");
+  ASSERT_EQ(plan.size(), 2u);
+  // Sorted by start time: the loss action at t=1 comes first.
+  EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::kSetLoss);
+  EXPECT_EQ(plan.actions[1].kind, FaultAction::Kind::kReorderWindow);
+  EXPECT_EQ(plan.actions[1].at, 2.0);
+  EXPECT_EQ(plan.actions[1].until, 8.0);
+  EXPECT_TRUE(plan.actions[1].disruptive());
+  EXPECT_EQ(FaultPlan::parse(plan.to_string()).to_string(), plan.to_string());
+
+  EXPECT_THROW(FaultPlan::parse("reorder-window"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("reorder-window t=5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("reorder-window t=8..2"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("reorder-window t=5..5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("reorder-window t=-1..5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("reorder-window t=2..8 junk"),
+               std::invalid_argument);
+}
+
 // ------------------------------------------- drop adjudication / counting
 
 struct ChaosPing final : net::Msg<ChaosPing> {

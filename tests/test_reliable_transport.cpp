@@ -1,0 +1,242 @@
+// Reliable transport layer: sliding-window sequencing, dedup (exactly-once
+// delivery), retransmission under loss, reorder resequencing, crash-epoch
+// fencing, and byte-determinism of lossy runs.  Raw-transport bit-identity
+// is pinned separately by test_golden_trace.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "fault/fault_plan.hpp"
+#include "harness/experiment.hpp"
+#include "net/msg_kind.hpp"
+#include "net/reliable_transport.hpp"
+#include "testbed.hpp"
+
+namespace dmx {
+namespace {
+
+using fault::FaultPlan;
+
+mutex::ParamSet arbiter_params() {
+  mutex::ParamSet p;
+  p.set("t_req", 1.0).set("t_fwd", 1.0);
+  return p;
+}
+
+net::ReliableTransportConfig test_config(double t_msg = 0.1) {
+  return net::ReliableTransportConfig::scaled_to(sim::SimTime::units(t_msg));
+}
+
+// ------------------------------------------------------------ exactly-once
+
+// The ISSUE's acceptance unit test: inject N wire-duplicates of the frame
+// carrying a PRIVILEGE payload; the algorithm must observe it exactly once
+// and the endpoint must count exactly N suppressed duplicates.
+TEST(ReliableTransport, DuplicatedPrivilegeDeliversExactlyOnce) {
+  constexpr std::size_t kDups = 3;
+  testbed::MutexCluster tb("arbiter-tp", 5, arbiter_params(), /*t_msg=*/1.0,
+                           /*t_exec=*/1.0, /*seed=*/1, test_config(1.0));
+  for (std::size_t i = 0; i < kDups; ++i) {
+    tb.network().faults().duplicate_next_of_type("PRIVILEGE");
+  }
+  tb.submit_at(0.0, 1);
+  tb.sim().run();
+
+  EXPECT_EQ(tb.total_completed(), 1u);
+  EXPECT_EQ(tb.monitor.violations(), 0u);
+  EXPECT_EQ(tb.network().faults().duplicates_injected(), kDups);
+  const net::TransportStats ts = tb.cluster->transport_stats();
+  EXPECT_EQ(ts.dup_dropped, kDups);
+  const net::MsgKind priv = net::MsgKindRegistry::instance().find("PRIVILEGE");
+  ASSERT_TRUE(priv.valid());
+  EXPECT_EQ(ts.dup_dropped_by_kind.get(priv.index()), kDups);
+}
+
+// A duplicated baseline GRANT behaves the same way: the centralized server's
+// grant is delivered once however many copies hit the wire.
+TEST(ReliableTransport, DuplicatedGrantDeliversExactlyOnce) {
+  constexpr std::size_t kDups = 5;
+  testbed::MutexCluster tb("centralized", 4, mutex::ParamSet{}, /*t_msg=*/0.1,
+                           /*t_exec=*/0.1, /*seed=*/1, test_config());
+  for (std::size_t i = 0; i < kDups; ++i) {
+    tb.network().faults().duplicate_next_of_type("C-GRANT");
+  }
+  tb.submit_at(0.0, 2);
+  tb.sim().run();
+
+  EXPECT_EQ(tb.total_completed(), 1u);
+  EXPECT_EQ(tb.monitor.violations(), 0u);
+  EXPECT_EQ(tb.cluster->transport_stats().dup_dropped, kDups);
+}
+
+// ---------------------------------------------------------- loss repair
+
+TEST(ReliableTransport, RetransmissionRepairsTargetedTokenLoss) {
+  testbed::MutexCluster tb("suzuki-kasami", 4, mutex::ParamSet{},
+                           /*t_msg=*/0.1, /*t_exec=*/0.1, /*seed=*/1,
+                           test_config());
+  // Without the reliable layer a lost SK-TOKEN wedges the run forever.
+  tb.network().faults().drop_next_of_type("SK-TOKEN");
+  tb.submit_at(0.0, 1);
+  tb.submit_at(0.1, 2);
+  tb.sim().run();
+
+  EXPECT_EQ(tb.total_completed(), 2u);
+  EXPECT_EQ(tb.monitor.violations(), 0u);
+  EXPECT_GE(tb.cluster->transport_stats().retransmits, 1u);
+}
+
+TEST(ReliableTransport, SurvivesSustainedLossWindowWithBackoff) {
+  testbed::MutexCluster tb("ricart-agrawala", 4, mutex::ParamSet{},
+                           /*t_msg=*/0.1, /*t_exec=*/0.1, /*seed=*/7,
+                           test_config());
+  fault::CampaignRunner campaign(*tb.cluster,
+                                 FaultPlan::parse("t=0 loss *=0.4 until=30"));
+  campaign.start();
+  for (std::size_t i = 0; i < 20; ++i) {
+    tb.submit_at(0.2 * static_cast<double>(i), i % 4);
+  }
+  tb.sim().run();
+
+  EXPECT_EQ(tb.total_completed(), 20u);
+  EXPECT_EQ(tb.monitor.violations(), 0u);
+  const net::TransportStats ts = tb.cluster->transport_stats();
+  EXPECT_GT(ts.retransmits, 0u);
+  // 40% loss also eats acks, so some delivered frames are resent and must
+  // be suppressed as duplicates on the receive side.
+  EXPECT_GT(ts.dup_dropped, 0u);
+}
+
+// ------------------------------------------------------------- reordering
+
+TEST(ReliableTransport, ResequencesReorderedFrames) {
+  testbed::MutexCluster tb("lamport", 4, mutex::ParamSet{}, /*t_msg=*/0.1,
+                           /*t_exec=*/0.1, /*seed=*/3, test_config());
+  fault::CampaignRunner campaign(
+      *tb.cluster, FaultPlan::parse("reorder-window t=0..20"));
+  campaign.start();
+  for (std::size_t i = 0; i < 12; ++i) {
+    tb.submit_at(0.15 * static_cast<double>(i), i % 4);
+  }
+  tb.sim().run();
+
+  EXPECT_EQ(tb.total_completed(), 12u);
+  EXPECT_EQ(tb.monitor.violations(), 0u);
+  // The reorder fault delays alternate frames past their successors, so the
+  // receive side must have parked at least one out-of-order frame.
+  EXPECT_GT(tb.cluster->transport_stats().reorder_buffered, 0u);
+}
+
+// ------------------------------------------------------------ crash fencing
+
+// A restarted node bumps its epoch: retransmissions addressed to the old
+// incarnation are fenced (stale_dropped), never replayed, and the sender
+// abandons the dead window instead of retrying forever.
+TEST(ReliableTransport, EpochFencesStaleRetransmissionsAcrossRestart) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = "arbiter-tp";
+  cfg.n_nodes = 5;
+  cfg.lambda = 0.4;
+  cfg.total_requests = 120;
+  cfg.seed = 11;
+  cfg.transport = harness::TransportKind::kReliable;
+  cfg.params.set("recovery", 1.0)
+      .set("token_timeout", 3.0)
+      .set("enquiry_timeout", 1.0)
+      .set("arbiter_timeout", 6.0)
+      .set("probe_timeout", 1.0)
+      .set("resubmit_after_misses", 1.0)
+      .set("request_retry_timeout", 5.0);
+  cfg.fault_plan = "t=4 loss *=0.5 until=12; t=6 crash 2; t=10 restart 2";
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_FALSE(r.stalled) << r.stall_diagnosis;
+  EXPECT_TRUE(r.drained);
+  // Heavy loss guarantees unacked frames to node 2 at crash time; their
+  // retransmissions arrive in the new incarnation and must be fenced.
+  EXPECT_GT(r.transport.stale_dropped, 0u);
+  EXPECT_GT(r.transport.abandoned, 0u);
+}
+
+// ----------------------------------------------------------- determinism
+
+// A lossy reliable run is a pure function of (seed, config): two identical
+// runs produce byte-identical wire traces, timers and jitter included.
+TEST(ReliableTransport, LossyRunIsByteDeterministic) {
+  auto run_trace = [] {
+    testbed::MutexCluster tb("arbiter-tp", 5, arbiter_params(),
+                             /*t_msg=*/1.0, /*t_exec=*/1.0, /*seed=*/42,
+                             test_config(1.0));
+    std::ostringstream os;
+    tb.network().set_tap([&](const net::Envelope& env, bool dropped) {
+      os << env.sent_at.to_units() << " " << env.src << "->" << env.dst
+         << " " << env.payload->describe() << (dropped ? " DROPPED" : "")
+         << "\n";
+    });
+    fault::CampaignRunner campaign(
+        *tb.cluster,
+        FaultPlan::parse("t=1 loss *=0.2 until=25; reorder-window t=5..15; "
+                         "t=3 dup-next REQUEST"));
+    campaign.start();
+    for (std::size_t i = 0; i < 8; ++i) {
+      tb.submit_at(0.7 * static_cast<double>(i), (i * 2) % 5);
+    }
+    tb.sim().run();
+    EXPECT_EQ(tb.total_completed(), 8u);
+    EXPECT_EQ(tb.monitor.violations(), 0u);
+    return os.str();
+  };
+  const std::string first = run_trace();
+  const std::string second = run_trace();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+// ------------------------------------------------- every algorithm, lossy
+
+// The ISSUE's headline acceptance: every registered algorithm finishes a
+// seeded loss + duplication + reordering campaign with the reliable
+// transport — zero stalls, safety intact, all live demand served.
+TEST(ReliableTransport, EveryAlgorithmCompletesLossyCampaign) {
+  harness::register_builtin_algorithms();
+  for (const std::string& name : mutex::Registry::instance().names()) {
+    harness::ExperimentConfig cfg;
+    cfg.algorithm = name;
+    cfg.n_nodes = 5;
+    cfg.lambda = 0.3;
+    cfg.total_requests = 60;
+    cfg.seed = 5;
+    cfg.transport = harness::TransportKind::kReliable;
+    cfg.fault_plan =
+        "t=5 loss *=0.2 until=40; reorder-window t=10..25; "
+        "t=12 dup-next RT-ACK";
+    const harness::ExperimentResult r = harness::run_experiment(cfg);
+    EXPECT_EQ(r.safety_violations, 0u) << name;
+    EXPECT_FALSE(r.stalled) << name << ": " << r.stall_diagnosis;
+    EXPECT_TRUE(r.drained) << name;
+    EXPECT_EQ(r.completed, r.submitted) << name;
+  }
+}
+
+// Raw transport must not grow any reliability state: same run, raw
+// transport, all transport counters stay zero.
+TEST(ReliableTransport, RawTransportKeepsCountersZero) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = "arbiter-tp";
+  cfg.n_nodes = 5;
+  cfg.lambda = 0.5;
+  cfg.total_requests = 50;
+  cfg.seed = 5;
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.transport.data_sent, 0u);
+  EXPECT_EQ(r.transport.retransmits, 0u);
+  EXPECT_EQ(r.transport.acks_sent, 0u);
+  EXPECT_EQ(r.transport.dup_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace dmx

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,15 +27,20 @@ struct MutexCluster {
   std::vector<mutex::MutexAlgorithm*> algos;
   std::vector<std::unique_ptr<mutex::CsDriver>> drivers;
 
-  /// Build an N-node cluster of the named registered algorithm.
+  /// Build an N-node cluster of the named registered algorithm.  Pass a
+  /// ReliableTransportConfig to interpose the sliding-window transport
+  /// beneath every process (defaults are scaled to t_msg).
   MutexCluster(const std::string& algorithm, std::size_t n,
                const mutex::ParamSet& params, double t_msg = 0.1,
-               double t_exec = 0.1, std::uint64_t seed = 1)
+               double t_exec = 0.1, std::uint64_t seed = 1,
+               std::optional<net::ReliableTransportConfig> reliable =
+                   std::nullopt)
       : sink(std::make_shared<trace::MemorySink>()) {
     harness::register_builtin_algorithms();
     cluster = std::make_unique<runtime::Cluster>(
         n, std::make_unique<net::ConstantDelay>(sim::SimTime::units(t_msg)),
         seed, trace::Tracer(sink));
+    if (reliable) cluster->use_reliable_transport(*reliable);
     for (std::size_t i = 0; i < n; ++i) {
       const net::NodeId nid{static_cast<std::int32_t>(i)};
       mutex::FactoryContext ctx{nid, n, params};
