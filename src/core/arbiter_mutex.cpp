@@ -995,6 +995,12 @@ void ArbiterMutex::arm_arbiter_watchdog() {
 
 void ArbiterMutex::on_successor_silent() {
   if (is_arbiter_ || arbiter_ == id()) return;
+  // A probe is already in flight: let it reach its verdict (a reply, or the
+  // probe_timeout takeover) instead of resetting the clock.  Under loss,
+  // repeated broadcast-retry escalations would otherwise keep cancelling
+  // and re-arming the probe, and a live-but-slow arbiter whose replies are
+  // being dropped would be usurped by whichever probe happens to time out.
+  if (timer_pending(probe_timer_)) return;
   ++stats_.probes_sent;
   trace("recovery", "probing silent arbiter " +
                         std::to_string(arbiter_.value()));

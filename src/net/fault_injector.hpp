@@ -93,12 +93,13 @@ class FaultInjector {
                                   NodeId dst = NodeId{});
 
   /// One-shot observability: how many drop_next predicates have fired (i.e.
-  /// retired by dropping a message), how many are still waiting, and whether
-  /// a specific one is still pending (false once fired or cancelled).
-  /// one_shot_pending / cancel_one_shot also cover duplicate_next ids.
+  /// retired by dropping a message), how many one-shots of either flavour
+  /// are still waiting, and whether a specific one is still pending (false
+  /// once fired or cancelled).  one_shots_pending / one_shot_pending /
+  /// cancel_one_shot also cover duplicate_next ids.
   [[nodiscard]] std::uint64_t one_shots_fired() const { return os_fired_; }
   [[nodiscard]] std::size_t one_shots_pending() const {
-    return one_shots_.size();
+    return one_shots_.size() + dup_one_shots_.size();
   }
   [[nodiscard]] bool one_shot_pending(std::uint64_t id) const;
 

@@ -28,8 +28,8 @@ void TransportStats::merge(const TransportStats& o) {
 
 std::string RtData::describe() const {
   std::ostringstream os;
-  os << "RT-DATA seq=" << seq << " e=" << src_epoch << ">" << dst_epoch
-     << " cum=" << cum_ack;
+  os << "RT-DATA seq=" << seq << " g=" << gen << " e=" << src_epoch << ">"
+     << dst_epoch << " cum=" << cum_ack << "/g" << ack_gen;
   if (sack_mask != 0) os << " sack=0x" << std::hex << sack_mask << std::dec;
   if (is_retransmit) os << " rtx";
   os << " [" << inner->describe() << "]";
@@ -38,7 +38,8 @@ std::string RtData::describe() const {
 
 std::string RtAck::describe() const {
   std::ostringstream os;
-  os << "RT-ACK e=" << src_epoch << ">" << dst_epoch << " cum=" << cum_ack;
+  os << "RT-ACK e=" << src_epoch << ">" << dst_epoch << " cum=" << cum_ack
+     << "/g" << ack_gen;
   if (sack_mask != 0) os << " sack=0x" << std::hex << sack_mask << std::dec;
   return os.str();
 }
@@ -90,8 +91,9 @@ void ReliableEndpoint::transmit(PeerState& ps, NodeId dst, const Unacked& u,
     ps.ack_event = sim::EventId{};
   }
   net_.send(self_, dst,
-            make_payload<RtData>(epoch_, ps.peer_epoch, u.seq, ps.cum,
-                                 sack_mask(ps), is_retransmit, u.inner));
+            make_payload<RtData>(epoch_, ps.peer_epoch, ps.tx_gen, u.seq,
+                                 ps.cum, sack_mask(ps), ps.rx_gen,
+                                 is_retransmit, u.inner));
 }
 
 void ReliableEndpoint::on_message(const Envelope& env) {
@@ -116,12 +118,29 @@ void ReliableEndpoint::note_peer_epoch(NodeId peer, std::uint32_t e) {
   stats_.abandoned += ps.window.size();
   ps.window.clear();
   ps.next_seq = 1;
+  ps.tx_gen = 1;
   ps.rto = cfg_.rto_initial;
   if (ps.rto_event.valid()) {
     sim_.cancel(ps.rto_event);
     ps.rto_event = sim::EventId{};
   }
   ps.peer_epoch = e;
+  // The rx state likewise describes the dead incarnation.  Adopt the new
+  // epoch with an empty stream immediately — not at the first data frame
+  // from it — because until then every frame we transmit piggybacks
+  // cum/sack, and the old incarnation's values would pass the receiver's
+  // epoch checks and falsely retire fresh frames it has yet to deliver.
+  // Pointing rx_epoch at the new incarnation also fences old-incarnation
+  // stragglers still in flight (d.src_epoch < rx_epoch drops them) instead
+  // of re-adopting their dead stream.
+  ps.rx_epoch = e;
+  ps.rx_gen = 0;
+  ps.cum = 0;
+  ps.buffer.clear();
+  if (ps.ack_event.valid()) {
+    sim_.cancel(ps.ack_event);
+    ps.ack_event = sim::EventId{};
+  }
 }
 
 void ReliableEndpoint::handle_data(const Envelope& env, const RtData& d) {
@@ -130,8 +149,10 @@ void ReliableEndpoint::handle_data(const Envelope& env, const RtData& d) {
   if (d.dst_epoch != epoch_) {
     ++stats_.stale_dropped;
     ++stats_.acks_sent;
+    // Epoch announcement; ack_gen 0 never matches a live stream, so the
+    // zero cum/sack can never be applied — only the fence matters.
     net_.send(self_, env.src,
-              make_payload<RtAck>(epoch_, d.src_epoch, 0, 0));
+              make_payload<RtAck>(epoch_, d.src_epoch, 0, 0, 0));
     return;
   }
   note_peer_epoch(env.src, d.src_epoch);
@@ -143,12 +164,28 @@ void ReliableEndpoint::handle_data(const Envelope& env, const RtData& d) {
   }
   if (d.src_epoch > ps.rx_epoch) {  // New incarnation: fresh sequence space.
     ps.rx_epoch = d.src_epoch;
+    ps.rx_gen = d.gen;
+    ps.cum = 0;
+    ps.buffer.clear();
+  } else if (d.gen != ps.rx_gen) {
+    if (d.gen < ps.rx_gen) {  // Pre-abandonment straggler: dead stream.
+      ++stats_.stale_dropped;
+      return;
+    }
+    // The peer hit its retry cap, abandoned its window and restarted its
+    // stream under a new generation; adopt the fresh sequence space (any
+    // buffered frames belong to the abandoned stream and will never become
+    // deliverable).
+    ps.rx_gen = d.gen;
     ps.cum = 0;
     ps.buffer.clear();
   }
 
-  // Piggybacked ack, valid only from the incarnation our window addresses.
-  if (d.src_epoch == ps.peer_epoch) apply_ack(ps, d.cum_ack, d.sack_mask);
+  // Piggybacked ack, valid only for the exact stream our window belongs to:
+  // the incarnation it addresses and the generation it numbers.
+  if (d.src_epoch == ps.peer_epoch && d.ack_gen == ps.tx_gen) {
+    apply_ack(ps, d.cum_ack, d.sack_mask);
+  }
 
   if (d.seq <= ps.cum || ps.buffer.contains(d.seq)) {
     // Duplicate (fault-injected copy, or a retransmission whose original
@@ -163,6 +200,7 @@ void ReliableEndpoint::handle_data(const Envelope& env, const RtData& d) {
   if (d.seq != ps.cum + 1) ++stats_.reorder_buffered;
   ps.buffer.emplace(d.seq, Buffered{d.inner, env.sent_at, env.msg_id});
   deliver_ready(env.src, ps);
+  if (down_) return;  // The upcall may have crashed us: no new timers.
   schedule_ack(env.src);
 }
 
@@ -190,9 +228,12 @@ void ReliableEndpoint::handle_ack(NodeId peer, const RtAck& a) {
   }
   note_peer_epoch(peer, a.src_epoch);
   PeerState& ps = peer_state(peer);
-  // Acks from an older incarnation describe a dead sequence space; applying
-  // one after a fence could wrongly retire fresh frames.
-  if (a.src_epoch == ps.peer_epoch) apply_ack(ps, a.cum_ack, a.sack_mask);
+  // Acks describing an older incarnation or a pre-abandonment generation
+  // number a dead sequence space; applying one could wrongly retire fresh
+  // frames that happen to reuse the same seqs.
+  if (a.src_epoch == ps.peer_epoch && a.ack_gen == ps.tx_gen) {
+    apply_ack(ps, a.cum_ack, a.sack_mask);
+  }
 }
 
 void ReliableEndpoint::apply_ack(PeerState& ps, std::uint64_t cum,
@@ -233,6 +274,7 @@ std::uint64_t ReliableEndpoint::sack_mask(const PeerState& ps) const {
 }
 
 void ReliableEndpoint::schedule_ack(NodeId peer) {
+  if (down_) return;  // Never arm a timer on a crashed endpoint.
   PeerState& ps = peer_state(peer);
   if (ps.ack_event.valid() && sim_.pending(ps.ack_event)) return;
   ps.ack_event = sim_.schedule_after(
@@ -245,7 +287,8 @@ void ReliableEndpoint::send_standalone_ack(NodeId peer) {
   ps.ack_event = sim::EventId{};
   ++stats_.acks_sent;
   net_.send(self_, peer,
-            make_payload<RtAck>(epoch_, ps.rx_epoch, ps.cum, sack_mask(ps)));
+            make_payload<RtAck>(epoch_, ps.rx_epoch, ps.rx_gen, ps.cum,
+                                sack_mask(ps)));
 }
 
 void ReliableEndpoint::arm_rto(NodeId peer) {
@@ -264,10 +307,18 @@ void ReliableEndpoint::on_rto(NodeId peer) {
   if (ps.window.empty()) return;
 
   if (ps.window.front().retries >= cfg_.max_retries) {
-    // Retry cap: presume the peer dead and abandon everything outstanding.
-    // If it ever comes back, the epoch exchange resynchronises the link.
+    // Retry cap: presume the peer dead and abandon everything outstanding,
+    // restarting the stream under a new generation.  If the peer was in
+    // fact alive behind a long loss window, its rx state holds a sequence
+    // gap the abandoned frames will never fill; the generation bump makes
+    // it adopt a fresh sequence space, so the link resynchronises by
+    // itself once loss heals instead of buffering every later frame
+    // forever.  If the peer really is dead, the eventual epoch exchange
+    // resynchronises as before.
     stats_.abandoned += ps.window.size();
     ps.window.clear();
+    ++ps.tx_gen;
+    ps.next_seq = 1;
     ps.rto = cfg_.rto_initial;
     return;
   }
@@ -299,11 +350,13 @@ void ReliableEndpoint::on_restart() {
     stats_.abandoned += ps.window.size();
     ps.window.clear();
     ps.next_seq = 1;
+    ps.tx_gen = 1;
     ps.rto = cfg_.rto_initial;
     // ...and so does its receive state: rx_epoch 0 re-adopts whatever the
     // peer sends next.  peer_epoch survives — it is knowledge about the
     // *peer*, and keeping it avoids a gratuitous fence round-trip.
     ps.rx_epoch = 0;
+    ps.rx_gen = 0;
     ps.cum = 0;
     ps.buffer.clear();
   }

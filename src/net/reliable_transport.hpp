@@ -12,7 +12,7 @@
 //     otherwise sent standalone after a delayed-ack timer;
 //   * retransmission on a per-peer timer with exponential backoff, seeded
 //     deterministic jitter, and a retry cap (the peer is presumed dead and
-//     the window abandoned — a later epoch exchange resynchronises);
+//     the window abandoned under a fresh stream generation — see below);
 //   * receive-side dedup and reorder buffering, so the algorithm above
 //     observes exactly-once, in-order delivery per peer.
 //
@@ -22,9 +22,22 @@
 // the receiver's).  A restarted node bumps its epoch; frames addressed to a
 // previous incarnation are counted stale_dropped and answered with a
 // standalone RT-ACK announcing the new epoch, which makes the sender fence:
-// abandon its window and restart its sequence space, rather than replaying
-// old-world traffic into the new incarnation.  Acks are likewise only
-// applied when they come from the incarnation the current window addresses.
+// abandon its window, restart its sequence space, and drop every piece of
+// rx state it holds for the dead incarnation (so a piggybacked ack can
+// never carry the old incarnation's cum/sack into the new one and falsely
+// retire fresh frames).  Acks are likewise only applied when they describe
+// the exact stream the current window belongs to.
+//
+// Stream generations.  Retry-cap abandonment clears the window; against a
+// peer that was merely unreachable (a long loss window) rather than dead,
+// the receiver would then hold a sequence gap nothing will ever fill and
+// every later frame would buffer forever.  So each (src, dst, epoch) stream
+// carries a generation number: abandonment bumps the sender's generation
+// and restarts its sequence space, and a receiver seeing a newer generation
+// adopts a fresh sequence space (the abandoned payloads are lost — that is
+// what the retry cap means — but the link resynchronises by itself the
+// moment loss heals).  Acks name the generation they describe and are
+// ignored by a sender that has since moved on.
 //
 // Everything is deterministic: timers run on the simulation clock and
 // retransmit jitter comes from a seeded per-endpoint Rng, so a (seed,
@@ -85,22 +98,27 @@ struct TransportStats {
 struct RtData final : Msg<RtData> {
   DMX_REGISTER_MESSAGE(RtData, "RT-DATA");
 
-  RtData(std::uint32_t se, std::uint32_t de, std::uint64_t sequence,
-         std::uint64_t cum, std::uint64_t sack, bool rtx, PayloadPtr payload)
-      : src_epoch(se), dst_epoch(de), seq(sequence), cum_ack(cum),
-        sack_mask(sack), is_retransmit(rtx), inner(std::move(payload)) {}
+  RtData(std::uint32_t se, std::uint32_t de, std::uint32_t g,
+         std::uint64_t sequence, std::uint64_t cum, std::uint64_t sack,
+         std::uint32_t ag, bool rtx, PayloadPtr payload)
+      : src_epoch(se), dst_epoch(de), gen(g), seq(sequence), cum_ack(cum),
+        sack_mask(sack), ack_gen(ag), is_retransmit(rtx),
+        inner(std::move(payload)) {}
 
   std::uint32_t src_epoch;
   std::uint32_t dst_epoch;
+  std::uint32_t gen;        ///< Sender's stream generation for seq.
   std::uint64_t seq;
   std::uint64_t cum_ack;    ///< Reverse path: all peer seqs <= this received.
   std::uint64_t sack_mask;  ///< Bit i: peer seq cum_ack+1+i received.
+  std::uint32_t ack_gen;    ///< Generation of the reverse-path stream that
+                            ///< cum_ack/sack_mask describe.
   bool is_retransmit;
   PayloadPtr inner;
 
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] std::size_t size_hint() const override {
-    return 28 + inner->size_hint();  // epochs + seq + cum + sack + flag.
+    return 36 + inner->size_hint();  // epochs + gens + seq + cum/sack + flag.
   }
   [[nodiscard]] const Payload& fault_target() const override { return *inner; }
 };
@@ -110,17 +128,19 @@ struct RtData final : Msg<RtData> {
 struct RtAck final : Msg<RtAck> {
   DMX_REGISTER_MESSAGE(RtAck, "RT-ACK");
 
-  RtAck(std::uint32_t se, std::uint32_t de, std::uint64_t cum,
-        std::uint64_t sack)
-      : src_epoch(se), dst_epoch(de), cum_ack(cum), sack_mask(sack) {}
+  RtAck(std::uint32_t se, std::uint32_t de, std::uint32_t ag,
+        std::uint64_t cum, std::uint64_t sack)
+      : src_epoch(se), dst_epoch(de), ack_gen(ag), cum_ack(cum),
+        sack_mask(sack) {}
 
   std::uint32_t src_epoch;
   std::uint32_t dst_epoch;
+  std::uint32_t ack_gen;  ///< Generation of the stream cum_ack describes.
   std::uint64_t cum_ack;
   std::uint64_t sack_mask;
 
   [[nodiscard]] std::string describe() const override;
-  [[nodiscard]] std::size_t size_hint() const override { return 24; }
+  [[nodiscard]] std::size_t size_hint() const override { return 28; }
 };
 
 /// One node's end of the reliability layer.  Implements Transport for the
@@ -162,12 +182,14 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
   struct PeerState {
     // --- transmit side.
     std::uint32_t peer_epoch = 1;  ///< Our view of the peer's incarnation.
+    std::uint32_t tx_gen = 1;  ///< Our stream generation (bumps on abandon).
     std::uint64_t next_seq = 1;
     std::deque<Unacked> window;
     sim::SimTime rto;  ///< Current timeout (backs off; resets on progress).
     sim::EventId rto_event;
     // --- receive side.
     std::uint32_t rx_epoch = 0;  ///< Incarnation this rx state belongs to.
+    std::uint32_t rx_gen = 0;    ///< Generation of the peer stream we track.
     std::uint64_t cum = 0;       ///< Highest contiguously delivered seq.
     std::map<std::uint64_t, Buffered> buffer;  ///< Out-of-order frames.
     sim::EventId ack_event;      ///< Pending delayed-ack timer.
@@ -177,8 +199,10 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
   void handle_ack(NodeId peer, const RtAck& a);
 
   /// Record a newly observed peer incarnation; if it is newer than the one
-  /// our window addresses, fence: abandon the window and restart the
-  /// sequence space (the new incarnation's rx state starts from zero).
+  /// our window addresses, fence: abandon the window, restart the sequence
+  /// space (the new incarnation's rx state starts from zero), and discard
+  /// our own rx state for the dead incarnation so no stale cum/sack is ever
+  /// piggybacked — or acked standalone — into the new one.
   void note_peer_epoch(NodeId peer, std::uint32_t e);
 
   /// Retire window entries covered by (cum, sack); on progress the RTO

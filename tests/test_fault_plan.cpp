@@ -241,6 +241,22 @@ TEST_F(DropCountingTest, OneShotObservabilityFiredVersusPending) {
   EXPECT_EQ(recorders_[1]->received.size(), 1u);  // second PING delivered
 }
 
+TEST_F(DropCountingTest, PendingCountCoversDuplicateOneShots) {
+  make_net(2);
+  auto& f = net_->faults();
+  const auto dup_id = f.duplicate_next_of_type("CHAOS-PING");
+  f.drop_next_of_type("CHAOS-PONG");
+  // Both flavours of one-shot count as pending until they fire.
+  EXPECT_EQ(f.one_shots_pending(), 2u);
+  EXPECT_TRUE(f.one_shot_pending(dup_id));
+  net_->send(net::NodeId{0}, net::NodeId{1}, net::make_payload<ChaosPing>());
+  sim_.run();
+  EXPECT_EQ(f.one_shots_pending(), 1u);  // The dup fired; the drop waits.
+  EXPECT_FALSE(f.one_shot_pending(dup_id));
+  EXPECT_EQ(f.duplicates_injected(), 1u);
+  EXPECT_EQ(recorders_[1]->received.size(), 2u);  // Original + one copy.
+}
+
 TEST_F(DropCountingTest, CancelledOneShotNeverFires) {
   make_net(2);
   auto& f = net_->faults();

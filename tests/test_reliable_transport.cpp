@@ -8,10 +8,15 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+#include <vector>
+
 #include "fault/campaign.hpp"
 #include "fault/fault_plan.hpp"
 #include "harness/experiment.hpp"
+#include "net/delay_model.hpp"
 #include "net/msg_kind.hpp"
+#include "net/network.hpp"
 #include "net/reliable_transport.hpp"
 #include "testbed.hpp"
 
@@ -19,6 +24,49 @@ namespace dmx {
 namespace {
 
 using fault::FaultPlan;
+
+// Bare payload for driving a pair of endpoints directly, outside any mutex
+// algorithm.
+struct ChirpMsg final : net::Msg<ChirpMsg> {
+  DMX_REGISTER_MESSAGE(ChirpMsg, "CHIRP");
+  int value;
+  explicit ChirpMsg(int v) : value(v) {}
+};
+
+/// Records every payload an endpoint delivers upward.
+class UpperRecorder final : public net::MessageHandler {
+ public:
+  void on_message(const net::Envelope& env) override {
+    received.push_back(env);
+  }
+  [[nodiscard]] std::size_t count(int value) const {
+    std::size_t n = 0;
+    for (const auto& env : received) {
+      if (const auto* c = env.as<ChirpMsg>(); c != nullptr && c->value == value) ++n;
+    }
+    return n;
+  }
+  std::vector<net::Envelope> received;
+};
+
+/// Two ReliableEndpoints wired directly onto a raw Network: lets tests
+/// script exact frame fates without a mutex algorithm in the way.
+struct EndpointPair {
+  explicit EndpointPair(net::ReliableTransportConfig cfg, double t_msg = 0.1)
+      : net(sim, 2,
+            std::make_unique<net::ConstantDelay>(sim::SimTime::units(t_msg)),
+            /*rng_seed=*/1),
+        ep0(net, net::NodeId{0}, up0, cfg, 11),
+        ep1(net, net::NodeId{1}, up1, cfg, 22) {
+    net.attach(net::NodeId{0}, &ep0);
+    net.attach(net::NodeId{1}, &ep1);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  UpperRecorder up0, up1;
+  net::ReliableEndpoint ep0, ep1;
+};
 
 mutex::ParamSet arbiter_params() {
   mutex::ParamSet p;
@@ -160,6 +208,82 @@ TEST(ReliableTransport, EpochFencesStaleRetransmissionsAcrossRestart) {
   // retransmissions arrive in the new incarnation and must be fenced.
   EXPECT_GT(r.transport.stale_dropped, 0u);
   EXPECT_GT(r.transport.abandoned, 0u);
+}
+
+// A sender that learns of a peer's restart through a fence ack (no data
+// from the new incarnation yet) must discard its rx state for the dead
+// incarnation immediately: otherwise its next data frame piggybacks the old
+// cum into the new epoch and falsely retires fresh frames the restarted
+// peer has in flight — permanent loss if those frames were dropped.
+TEST(ReliableTransport, FenceDiscardsStaleRxStateSoFreshFramesSurvive) {
+  EndpointPair tp(test_config());
+
+  // Three delivered messages leave ep0 holding cum=3 for ep1's stream.
+  for (int v = 1; v <= 3; ++v) {
+    tp.ep1.send(net::NodeId{1}, net::NodeId{0}, net::make_payload<ChirpMsg>(v));
+  }
+  tp.sim.run();
+  ASSERT_EQ(tp.up0.received.size(), 3u);
+
+  // ep1 restarts; its first fresh frame (seq 1 of epoch 2) and the next two
+  // retransmissions are lost in flight.
+  tp.ep1.on_crash();
+  tp.ep1.on_restart();
+  for (int i = 0; i < 3; ++i) {
+    tp.net.faults().drop_next_of_type("CHIRP", net::NodeId{1}, net::NodeId{0});
+  }
+  tp.ep1.send(net::NodeId{1}, net::NodeId{0}, net::make_payload<ChirpMsg>(99));
+
+  // ep0's frame to the dead incarnation provokes the fence ack that teaches
+  // it epoch 2 (and abandons this payload — fencing never replays).
+  tp.ep0.send(net::NodeId{0}, net::NodeId{1}, net::make_payload<ChirpMsg>(7));
+  // A later new-epoch frame from ep0 must not carry cum=3 as a valid ack:
+  // that would retire ep1's undelivered seq 1 and cancel its retransmission.
+  tp.sim.schedule_at(sim::SimTime::units(1.5), [&tp] {
+    tp.ep0.send(net::NodeId{0}, net::NodeId{1}, net::make_payload<ChirpMsg>(8));
+  });
+  tp.sim.run();
+
+  // ep1's surviving retransmission repairs the loss: exactly-once delivery
+  // of the post-restart message, and the new-epoch frame from ep0 arrives.
+  EXPECT_EQ(tp.up0.count(99), 1u);
+  EXPECT_EQ(tp.up1.count(8), 1u);
+  EXPECT_EQ(tp.up1.count(7), 0u);  // Fenced old-world payload is abandoned.
+  EXPECT_GE(tp.ep0.stats().abandoned, 1u);
+  EXPECT_GT(tp.ep1.stats().stale_dropped, 0u);
+}
+
+// Retry-cap abandonment against a peer that was merely unreachable (not
+// dead) must not wedge the link: abandonment restarts the stream under a
+// new generation, so once loss heals the receiver adopts the fresh sequence
+// space instead of waiting forever for the abandoned frames to fill a gap.
+TEST(ReliableTransport, RetryCapAbandonmentResyncsLiveLinkAfterLossHeals) {
+  net::ReliableTransportConfig cfg = test_config();
+  cfg.max_retries = 3;  // Hit the cap quickly.
+  EndpointPair tp(cfg);
+
+  // A message delivered before the outage pins the receiver's cum at 1.
+  tp.ep0.send(net::NodeId{0}, net::NodeId{1},
+              net::make_payload<ChirpMsg>(1));
+  tp.sim.run();
+  ASSERT_EQ(tp.up1.count(1), 1u);
+
+  // Total loss: the next message exhausts its retries and is abandoned.
+  tp.net.faults().set_loss_probability(1.0);
+  tp.ep0.send(net::NodeId{0}, net::NodeId{1},
+              net::make_payload<ChirpMsg>(2));
+  tp.sim.run();
+  EXPECT_EQ(tp.ep0.stats().abandoned, 1u);
+  EXPECT_EQ(tp.up1.count(2), 0u);
+
+  // Loss heals.  Without the generation bump the receiver would park this
+  // frame behind the never-arriving abandoned seq and deliver nothing.
+  tp.net.faults().set_loss_probability(0.0);
+  tp.ep0.send(net::NodeId{0}, net::NodeId{1},
+              net::make_payload<ChirpMsg>(3));
+  tp.sim.run();
+  EXPECT_EQ(tp.up1.count(3), 1u);
+  EXPECT_EQ(tp.up1.received.size(), 2u);  // Exactly-once for 1 and 3 only.
 }
 
 // ----------------------------------------------------------- determinism
