@@ -7,12 +7,16 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "net/delay_model.hpp"
 #include "net/network.hpp"
+#include "obs/event.hpp"
+#include "obs/sinks.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/dispatch.hpp"
 #include "sim/simulator.hpp"
 #include "stats/counter_map.hpp"
@@ -211,6 +215,89 @@ void BM_StatsCounterKindVector(benchmark::State& state) {
                           static_cast<std::int64_t>(envs.size()));
 }
 BENCHMARK(BM_StatsCounterKindVector);
+
+// --- trace emission: the disabled branch, and two enabled sink paths --------
+//
+// The disabled path is the one every protocol hot loop pays when tracing is
+// off: it must be a single predictable branch, no Event construction, no
+// formatting.  The enabled paths size the cost of capturing (a counting
+// null sink isolates the chain itself; the JSONL sink adds serialization).
+
+DMX_REGISTER_EVENT(kEvBench, "bench.emit", "bench");
+
+struct TraceEmitter {
+  dmx::obs::Tracer tracer;
+  dmx::sim::SimTime now;
+  std::int32_t node = 3;
+
+  // Mirrors the emit helpers on Process / CsDriver: guard, then construct.
+  void emit(std::uint64_t req, std::int64_t arg) {
+    if (!tracer.enabled()) return;
+    tracer.write(dmx::obs::Event{now, kEvBench, node, req, arg, 0.0});
+  }
+  void emitf(std::uint64_t req, std::int64_t arg) {
+    if (!tracer.enabled()) return;
+    const auto fmt = [arg] { return "arg is " + std::to_string(arg); };
+    tracer.write(dmx::obs::Event{now, kEvBench, node, req, arg, 0.0},
+                 dmx::obs::DetailRef(fmt));
+  }
+};
+
+struct CountingSink final : dmx::obs::Sink {
+  std::uint64_t events = 0;
+  void on_event(const dmx::obs::Event&, const dmx::obs::DetailRef&) override {
+    ++events;
+  }
+};
+
+void BM_TraceEmitDisabled(benchmark::State& state) {
+  TraceEmitter e;  // default tracer: disabled
+  std::uint64_t req = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) e.emit(++req, i);
+    benchmark::DoNotOptimize(req);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_TraceEmitDisabled);
+
+void BM_TraceEmitDisabledWithFormatter(benchmark::State& state) {
+  TraceEmitter e;
+  std::uint64_t req = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) e.emitf(++req, i);
+    benchmark::DoNotOptimize(req);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_TraceEmitDisabledWithFormatter);
+
+void BM_TraceEmitCountingSink(benchmark::State& state) {
+  auto sink = std::make_shared<CountingSink>();
+  TraceEmitter e{dmx::obs::Tracer(sink), dmx::sim::SimTime::units(1.0)};
+  std::uint64_t req = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) e.emitf(++req, i);
+    benchmark::DoNotOptimize(sink->events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_TraceEmitCountingSink);
+
+void BM_TraceEmitJsonlSink(benchmark::State& state) {
+  std::ostringstream os;
+  auto sink = std::make_shared<dmx::obs::JsonlSink>(os);
+  TraceEmitter e{dmx::obs::Tracer(sink), dmx::sim::SimTime::units(1.0)};
+  std::uint64_t req = 0;
+  for (auto _ : state) {
+    os.str({});  // keep the buffer from growing without bound
+    for (int i = 0; i < 4096; ++i) e.emitf(++req, i);
+    sink->flush();
+    benchmark::DoNotOptimize(os);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_TraceEmitJsonlSink);
 
 void BM_ArbiterEndToEnd(benchmark::State& state) {
   const auto requests = static_cast<std::uint64_t>(state.range(0));

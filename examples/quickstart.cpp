@@ -16,8 +16,9 @@
 #include "mutex/registry.hpp"
 #include "mutex/safety_monitor.hpp"
 #include "net/delay_model.hpp"
+#include "obs/sinks.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/cluster.hpp"
-#include "trace/trace.hpp"
 
 int main() {
   using namespace dmx;
@@ -29,7 +30,7 @@ int main() {
                "and token holder)\n\n";
 
   // A cluster that prints every protocol event.
-  trace::Tracer tracer(std::make_shared<trace::OstreamSink>(std::cout));
+  obs::Tracer tracer(std::make_shared<obs::TextSink>(std::cout, 0));
   runtime::Cluster cluster(
       5, std::make_unique<net::ConstantDelay>(sim::SimTime::units(1.0)), 7,
       tracer);

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Observability smoke: drive dmx_sweep's machine-readable outputs end to end
+# and validate them structurally.
+#
+#   1. --emit-json        run manifest, schema dmx.run.v1 (jq-validated:
+#                         schema tag, one record per (lambda, seed), result
+#                         invariants, span phase decomposition)
+#   2. --trace-out jsonl  one JSON object per line, lifecycle events present,
+#                         span records carry the phase fields
+#   3. --trace-out chrome a single valid JSON document in trace-event format
+#                         (Perfetto-loadable): traceEvents array, instant and
+#                         duration ("X") phases with µs timestamps
+#
+# jq is required for the structural checks; if it is missing the script
+# still exercises the flags but downgrades validation to grep.
+#
+# Usage: scripts/obs_smoke.sh <path-to-dmx_sweep>
+set -u
+
+SWEEP="${1:?usage: obs_smoke.sh <path-to-dmx_sweep>}"
+FAILURES=0
+OUTDIR="$(mktemp -d)"
+trap 'rm -rf "$OUTDIR"' EXIT
+
+HAVE_JQ=1
+command -v jq >/dev/null 2>&1 || HAVE_JQ=0
+[ "$HAVE_JQ" -eq 1 ] || echo "warning: jq not found, structural checks downgraded to grep"
+
+fail() {
+  echo "FAIL: $1"
+  FAILURES=$((FAILURES + 1))
+}
+
+# --- 1. run manifest ---------------------------------------------------------
+echo "=== obs smoke: run manifest (--emit-json)"
+MANIFEST="$OUTDIR/run.json"
+if ! "$SWEEP" --algo arbiter-tp --n 5 --lambda 0.3,0.6 --requests 300 \
+  --seeds 2 --emit-json "$MANIFEST" >"$OUTDIR/sweep.out" 2>&1; then
+  cat "$OUTDIR/sweep.out"
+  fail "manifest sweep exited non-zero"
+fi
+if [ ! -s "$MANIFEST" ]; then
+  fail "manifest file missing or empty"
+elif [ "$HAVE_JQ" -eq 1 ]; then
+  jq -e '.schema == "dmx.run.v1"' "$MANIFEST" >/dev/null ||
+    fail "manifest schema tag is not dmx.run.v1"
+  # 2 lambdas x 2 seeds = 4 run records.
+  jq -e '.runs | length == 4' "$MANIFEST" >/dev/null ||
+    fail "manifest should carry 4 run records"
+  jq -e '[.runs[].config.algorithm] | all(. == "arbiter-tp")' "$MANIFEST" >/dev/null ||
+    fail "manifest config.algorithm mismatch"
+  jq -e '[.runs[].result] | all(.completed == .submitted and .safety_violations == 0 and .drained)' \
+    "$MANIFEST" >/dev/null || fail "manifest result invariants violated"
+  # messages_by_type must sum to messages_total in every record.
+  jq -e '[.runs[].result | ([.messages_by_type[]] | add) == .messages_total] | all' \
+    "$MANIFEST" >/dev/null || fail "messages_by_type does not sum to messages_total"
+  # --emit-json implies span collection: the phase decomposition must be
+  # present and internally consistent (acquire = transit + token_wait).
+  jq -e '[.runs[].result.spans | .completed > 0 and
+          (.phases | has("queue") and has("transit") and has("token_wait")
+                     and has("acquire") and has("cs"))] | all' \
+    "$MANIFEST" >/dev/null || fail "span phase decomposition missing"
+else
+  grep -q '"schema":"dmx.run.v1"' "$MANIFEST" || fail "manifest schema tag missing"
+  grep -q '"spans"' "$MANIFEST" || fail "manifest spans block missing"
+fi
+echo "ok: manifest"
+echo
+
+# --- 2. JSONL trace ----------------------------------------------------------
+echo "=== obs smoke: JSONL trace (--trace-out, jsonl)"
+TRACE="$OUTDIR/trace.jsonl"
+"$SWEEP" --algo arbiter-tp --n 5 --lambda 0.3 --requests 200 --seeds 1 \
+  --trace-out "$TRACE" --trace-format jsonl >/dev/null 2>&1 ||
+  fail "jsonl trace sweep exited non-zero"
+if [ ! -s "$TRACE" ]; then
+  fail "jsonl trace missing or empty"
+elif [ "$HAVE_JQ" -eq 1 ]; then
+  # Every line parses; event lines carry the fixed fields.
+  jq -es 'length > 0' "$TRACE" >/dev/null || fail "jsonl trace has unparseable lines"
+  jq -es '[.[] | select(has("ev"))] | length > 0 and
+          all(has("t") and has("cat") and has("node") and has("req"))' \
+    "$TRACE" >/dev/null || fail "jsonl event records malformed"
+  for ev in cs.issued cs.granted cs.released req.queued; do
+    jq -es --arg ev "$ev" '[.[] | select(.ev == $ev)] | length > 0' \
+      "$TRACE" >/dev/null || fail "jsonl trace has no $ev events"
+  done
+  jq -es '[.[] | select(has("span"))] | length > 0 and
+          all(.span | has("queue") and has("token_wait") and has("cs"))' \
+    "$TRACE" >/dev/null || fail "jsonl span records malformed"
+else
+  grep -q '"ev":"cs.granted"' "$TRACE" || fail "jsonl trace missing cs.granted"
+  grep -q '"span"' "$TRACE" || fail "jsonl trace missing span records"
+fi
+echo "ok: jsonl trace"
+echo
+
+# --- 3. Chrome trace ---------------------------------------------------------
+echo "=== obs smoke: Chrome trace (--trace-out, chrome)"
+CHROME="$OUTDIR/trace.chrome.json"
+"$SWEEP" --algo arbiter-tp --n 5 --lambda 0.3 --requests 200 --seeds 1 \
+  --trace-out "$CHROME" --trace-format chrome >/dev/null 2>&1 ||
+  fail "chrome trace sweep exited non-zero"
+if [ ! -s "$CHROME" ]; then
+  fail "chrome trace missing or empty"
+elif [ "$HAVE_JQ" -eq 1 ]; then
+  jq -e '.traceEvents | length > 0' "$CHROME" >/dev/null ||
+    fail "chrome trace is not a valid trace-event document"
+  jq -e '[.traceEvents[] | select(.ph == "X")] | length > 0 and
+         all(has("ts") and has("dur") and has("tid"))' "$CHROME" >/dev/null ||
+    fail "chrome trace has no well-formed span slices"
+  jq -e '[.traceEvents[] | select(.ph == "i")] | length > 0' "$CHROME" >/dev/null ||
+    fail "chrome trace has no instant events"
+else
+  grep -q '"traceEvents"' "$CHROME" || fail "chrome trace envelope missing"
+  grep -q '"ph":"X"' "$CHROME" || fail "chrome trace span slices missing"
+fi
+echo "ok: chrome trace"
+echo
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "obs smoke: ${FAILURES} failure(s)"
+  exit 1
+fi
+echo "obs smoke: all artifacts valid"

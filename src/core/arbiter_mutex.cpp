@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
 #include <utility>
+
+#include "core/events.hpp"
+#include "obs/lifecycle.hpp"
 
 namespace dmx::core {
 
@@ -136,7 +140,8 @@ void ArbiterMutex::on_start() {
     have_token_ = true;
     phase_ = ArbiterPhase::kIdleWithToken;
     ++times_arbiter_;
-    trace("arbiter", "initial arbiter with token");
+    emitf(kEvArbiterInit,
+          [] { return std::string("initial arbiter with token"); });
   }
 }
 
@@ -211,7 +216,9 @@ void ArbiterMutex::arm_request_retry() {
         // last resort — whoever is the arbiter will collect it, everyone
         // else drops it.
         ++stats_.broadcast_retries;
-        trace("resubmit", "broadcast retry");
+        emitf(kEvResubmitBroadcast,
+              [] { return std::string("broadcast retry"); },
+              pending_->request_id);
         broadcast(net::make_payload<RequestMsg>(make_own_entry()));
         // If no node currently holds arbitership (e.g. the arbiter crashed
         // and restarted with amnesia before anyone noticed), the broadcast
@@ -312,7 +319,9 @@ void ArbiterMutex::on_request(const net::Envelope&, const RequestMsg& msg) {
                     msg.entry.request_id)) {
       monitor_buffer_.push_back(msg.entry);
       ++stats_.monitor_buffered;
-      trace("monitor", "buffered " + msg.describe());
+      emitf(kEvMonitorBuffered,
+            [&msg] { return "buffered " + msg.describe(); },
+            msg.entry.request_id);
       if (params_.monitor_patience > sim::SimTime::zero() &&
           !timer_pending(monitor_patience_timer_)) {
         monitor_patience_timer_ = set_timer(params_.monitor_patience,
@@ -326,6 +335,7 @@ void ArbiterMutex::on_request(const net::Envelope&, const RequestMsg& msg) {
     QEntry fwd = msg.entry;
     ++fwd.forward_count;
     ++stats_.requests_forwarded;
+    emit(obs::kEvReqForwarded, fwd.request_id, arbiter_.value());
     send(arbiter_, net::make_payload<RequestMsg>(fwd, /*to_monitor=*/false,
                                                  msg.from_monitor));
     return;
@@ -336,6 +346,7 @@ void ArbiterMutex::on_request(const net::Envelope&, const RequestMsg& msg) {
     QEntry fwd = msg.entry;
     ++fwd.forward_count;
     ++stats_.requests_forwarded;
+    emit(obs::kEvReqForwarded, fwd.request_id, arbiter_.value());
     send(arbiter_, net::make_payload<RequestMsg>(fwd, /*to_monitor=*/false,
                                                  msg.from_monitor));
     return;
@@ -365,6 +376,7 @@ void ArbiterMutex::arbiter_add_request(const QEntry& entry, bool from_monitor) {
     return;
   }
   collect_q_.push_back(entry);
+  emit(obs::kEvReqQueued, entry.request_id, id().value());
   if (phase_ == ArbiterPhase::kIdleWithToken) {
     // First demand after an idle spell opens a fresh collection window
     // (Fig. 1's re-entered request-collection, event-driven).
@@ -383,7 +395,7 @@ void ArbiterMutex::become_arbiter(net::NodeId prev_arbiter, QList last_batch) {
   prev_arbiter_ = prev_arbiter;
   last_batch_q_ = std::move(last_batch);
   ++times_arbiter_;
-  trace("arbiter", "became arbiter");
+  emitf(kEvArbiterElected, [] { return std::string("became arbiter"); });
   if (params_.recovery) arm_token_timeout();
 }
 
@@ -429,7 +441,8 @@ void ArbiterMutex::dispatch() {
   q_ = std::move(collect_q_);
   collect_q_.clear();
   ++stats_.dispatches;
-  trace("dispatch", "Q=" + q_to_string(q_));
+  emitf(kEvDispatch, [this] { return "Q=" + q_to_string(q_); }, 0,
+        static_cast<std::int64_t>(q_.size()));
   note_scheduled_batch(q_);
 
   if (params_.starvation_free && counter_ + 1 >= monitor_period()) {
@@ -523,7 +536,8 @@ void ArbiterMutex::on_privilege(const net::Envelope&,
   if (msg.epoch < epoch_) {
     // A token from before an invalidation: it has been superseded.
     ++stats_.stale_tokens_discarded;
-    trace("token", "discarded stale " + msg.describe());
+    emitf(kEvTokenStale,
+          [&msg] { return "discarded stale " + msg.describe(); });
     return;
   }
   epoch_ = msg.epoch;
@@ -561,7 +575,9 @@ void ArbiterMutex::process_token() {
         q_.front().request_id == pending_->request_id) {
       pending_state_ = PendingState::kInCs;
       cancel_timer(token_timeout_timer_);
-      trace("cs", "entering critical section");
+      emitf(kEvCsEnter,
+            [] { return std::string("entering critical section"); },
+            pending_->request_id);
       grant(*pending_);
       return;  // release() resumes from here
     }
@@ -574,7 +590,11 @@ void ArbiterMutex::process_token() {
     arbiter_token_arrived();
     return;
   }
-  trace("token", "passing to node " + std::to_string(q_.front().node.value()));
+  emitf(kEvTokenPass,
+        [this] {
+          return "passing to node " + std::to_string(q_.front().node.value());
+        },
+        q_.front().request_id, q_.front().node.value());
   send_privilege(q_.front().node, /*via_monitor=*/false);
   have_token_ = false;
 }
@@ -587,7 +607,11 @@ void ArbiterMutex::arbiter_token_arrived() {
     arbiter_ = id();
   }
   cancel_timer(token_timeout_timer_);
-  trace("arbiter", "token arrived; collected=" + q_to_string(collect_q_));
+  emitf(kEvTokenArrived,
+        [this] {
+          return "token arrived; collected=" + q_to_string(collect_q_);
+        },
+        0, static_cast<std::int64_t>(collect_q_.size()));
   if (collect_q_.empty()) {
     phase_ = ArbiterPhase::kIdleWithToken;
   } else {
@@ -647,7 +671,9 @@ void ArbiterMutex::monitor_token_visit() {
     enter_forwarding_phase();
     arm_arbiter_watchdog();
   }
-  trace("monitor", "token visit; Q=" + q_to_string(q_));
+  emitf(kEvMonitorTokenVisit,
+        [this] { return "token visit; Q=" + q_to_string(q_); }, 0,
+        static_cast<std::int64_t>(q_.size()));
   process_token();
 }
 
@@ -697,7 +723,9 @@ void ArbiterMutex::on_new_arbiter(const net::Envelope& env,
       // The token is the ground truth: re-assert our claim; the token-less
       // claimant abdicates on receiving it.
       ++stats_.arbiter_reasserts;
-      trace("recovery", "re-asserting arbitership (we hold the token)");
+      emitf(kEvRecoveryReassert, [] {
+        return std::string("re-asserting arbitership (we hold the token)");
+      });
       auto assert_msg = std::make_shared<NewArbiterMsg>();
       assert_msg->new_arbiter = id();
       assert_msg->counter = counter_;
@@ -709,8 +737,12 @@ void ArbiterMutex::on_new_arbiter(const net::Envelope& env,
     }
     // Token-less: step down and hand our collected batch to the claimant.
     ++stats_.arbiter_abdications;
-    trace("recovery", "abdicating to node " +
-                          std::to_string(msg.new_arbiter.value()));
+    emitf(kEvRecoveryAbdicate,
+          [&msg] {
+            return "abdicating to node " +
+                   std::to_string(msg.new_arbiter.value());
+          },
+          0, msg.new_arbiter.value());
     is_arbiter_ = false;
     phase_ = ArbiterPhase::kNone;
     cancel_timer(window_timer_);
@@ -781,7 +813,9 @@ void ArbiterMutex::resubmit_pending(bool to_monitor) {
   }
   if (to_monitor) {
     ++stats_.monitor_resubmissions;
-    trace("resubmit", "to monitor " + std::to_string(monitor_.value()));
+    emitf(kEvResubmitMonitor,
+          [this] { return "to monitor " + std::to_string(monitor_.value()); },
+          pending_->request_id, monitor_.value());
     if (monitor_ == id()) {
       // We are the monitor: buffer our own entry directly.
       if (!q_contains(QList(monitor_buffer_.begin(), monitor_buffer_.end()),
@@ -801,7 +835,9 @@ void ArbiterMutex::resubmit_pending(bool to_monitor) {
     return;
   }
   ++stats_.resubmissions;
-  trace("resubmit", "to arbiter " + std::to_string(arbiter_.value()));
+  emitf(kEvResubmitArbiter,
+        [this] { return "to arbiter " + std::to_string(arbiter_.value()); },
+        pending_->request_id, arbiter_.value());
   send(arbiter_, net::make_payload<RequestMsg>(make_own_entry()));
   arm_request_retry();
 }
@@ -857,9 +893,14 @@ void ArbiterMutex::start_invalidation() {
       if (nid != id()) targets.insert(nid);
     }
   }
-  trace("recovery", "two-phase invalidation round " +
-                        std::to_string(enquiry_round_) + " (" +
-                        std::to_string(targets.size()) + " enquiries)");
+  emitf(kEvRecoveryInvalidation,
+        [&] {
+          return "two-phase invalidation round " +
+                 std::to_string(enquiry_round_) + " (" +
+                 std::to_string(targets.size()) + " enquiries)";
+        },
+        0, static_cast<std::int64_t>(enquiry_round_),
+        static_cast<double>(targets.size()));
   for (net::NodeId t : targets) {
     enquiry_recipients_.push_back(t);
     auto e = std::make_shared<EnquiryMsg>();
@@ -953,7 +994,11 @@ void ArbiterMutex::conclude_invalidation() {
   q_.clear();
   last_batch_q_.clear();
   ++stats_.tokens_regenerated;
-  trace("recovery", "token regenerated, epoch " + std::to_string(epoch_));
+  emitf(kEvTokenRegenerated,
+        [this] {
+          return "token regenerated, epoch " + std::to_string(epoch_);
+        },
+        0, static_cast<std::int64_t>(epoch_));
   if (collect_q_.empty()) {
     phase_ = ArbiterPhase::kIdleWithToken;
   } else {
@@ -965,7 +1010,7 @@ void ArbiterMutex::on_resume(const net::Envelope&, const ResumeMsg& msg) {
   if (replied_waiting_round_ == msg.round) replied_waiting_round_ = 0;
   if (!suspended_) return;
   suspended_ = false;
-  trace("recovery", "resumed");
+  emitf(kEvRecoveryResumed, [] { return std::string("resumed"); });
   if (have_token_ && pending_state_ != PendingState::kInCs) process_token();
 }
 
@@ -979,7 +1024,8 @@ void ArbiterMutex::on_invalidate(const net::Envelope&,
     suspended_ = false;
     q_.clear();
     ++stats_.stale_tokens_discarded;
-    trace("recovery", "held token invalidated");
+    emitf(kEvTokenInvalidated,
+          [] { return std::string("held token invalidated"); });
   }
   if (pending_.has_value() && pending_state_ == PendingState::kScheduled) {
     arm_token_timeout();  // the regenerated token will reach us
@@ -1002,8 +1048,11 @@ void ArbiterMutex::on_successor_silent() {
   // being dropped would be usurped by whichever probe happens to time out.
   if (timer_pending(probe_timer_)) return;
   ++stats_.probes_sent;
-  trace("recovery", "probing silent arbiter " +
-                        std::to_string(arbiter_.value()));
+  emitf(kEvRecoveryProbe,
+        [this] {
+          return "probing silent arbiter " + std::to_string(arbiter_.value());
+        },
+        0, arbiter_.value());
   send(arbiter_, net::make_payload<ProbeMsg>());
   cancel_timer(probe_timer_);
   probe_timer_ =
@@ -1012,7 +1061,7 @@ void ArbiterMutex::on_successor_silent() {
 
 void ArbiterMutex::takeover_arbitership() {
   ++stats_.arbiter_takeovers;
-  trace("recovery", "arbiter takeover");
+  emitf(kEvRecoveryTakeover, [] { return std::string("arbiter takeover"); });
   arbiter_ = id();
   become_arbiter(net::NodeId{}, QList{});
   auto msg = std::make_shared<NewArbiterMsg>();

@@ -3,8 +3,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/events.hpp"
 #include "net/fault_injector.hpp"
 #include "net/msg_kind.hpp"
+#include "obs/tracer.hpp"
 
 namespace dmx::fault {
 
@@ -162,6 +164,15 @@ void CampaignRunner::execute(const FaultAction& action) {
   }
   ++executed_;
   log_.push_back(action.describe());
+  const obs::Tracer& tracer = cluster_.tracer();
+  if (tracer.enabled()) {
+    const auto fmt = [&action] { return action.describe(); };
+    tracer.write(
+        obs::Event{cluster_.simulator().now(), kEvFaultInjected,
+                   action.node >= 0 ? action.node : -1, 0,
+                   static_cast<std::int64_t>(action.kind), 0.0},
+        obs::DetailRef(fmt));
+  }
   if (observer_) observer_(cluster_.simulator().now(), action);
 }
 

@@ -1,0 +1,15 @@
+// Typed trace events for the fault-injection layer.
+//
+// Field conventions:
+//   fault.injected  node=targeted node (-1 for cluster-wide actions)
+//                   arg=FaultAction::Kind as an integer
+//                   detail=FaultAction::describe()
+#pragma once
+
+#include "obs/event.hpp"
+
+namespace dmx::fault {
+
+DMX_REGISTER_EVENT(kEvFaultInjected, "fault.injected", "fault");
+
+}  // namespace dmx::fault

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <charconv>
+#include <fstream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
 
+#include "harness/manifest.hpp"
 #include "harness/table.hpp"
 #include "mutex/registry.hpp"
+#include "obs/sinks.hpp"
 #include "stats/confidence.hpp"
 
 namespace dmx::harness {
@@ -90,6 +94,13 @@ usage: dmx_sweep [flags]
                          and exactly-once in-order delivery under loss
   --stall X              liveness stall threshold in sim units
                          (< 0 off; default: auto when --fault is given)
+  --trace-out FILE       write a structured event trace of the sweep's
+                         first run (first lambda, first seed)
+  --trace-format FMT     jsonl | chrome | text         [jsonl]
+                         chrome loads in Perfetto / chrome://tracing with
+                         per-request latency spans
+  --emit-json FILE       write a dmx.run.v1 JSON manifest of every run
+                         (config + metrics + span phase histograms)
   --csv                  CSV output
   --list                 list registered algorithms
   --help                 this text
@@ -168,6 +179,17 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       }
     } else if (a == "--stall") {
       o.stall_threshold = parse_double(a, need_value(i++, a));
+    } else if (a == "--trace-out") {
+      o.trace_out = need_value(i++, a);
+    } else if (a == "--trace-format") {
+      const std::string v = need_value(i++, a);
+      if (v != "jsonl" && v != "chrome" && v != "text") {
+        throw std::invalid_argument("unknown --trace-format: " + v +
+                                    " (expected jsonl, chrome, or text)");
+      }
+      o.trace_format = v;
+    } else if (a == "--emit-json") {
+      o.emit_json = need_value(i++, a);
     } else {
       throw std::invalid_argument("unknown flag: " + a + "\n" + cli_usage());
     }
@@ -187,9 +209,21 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     }
     return 0;
   }
-  if (!mutex::Registry::instance().contains(opts.algorithm)) {
-    os << "unknown algorithm '" << opts.algorithm << "'; try --list\n";
-    return 2;
+  // File streams must outlive the sinks writing to them: the Chrome-trace
+  // sink closes its JSON envelope in its destructor, so trace_file is
+  // declared first and destroyed last.
+  std::ofstream trace_file;
+  std::shared_ptr<obs::Sink> trace_sink;
+  if (!opts.trace_out.empty()) {
+    trace_file.open(opts.trace_out);
+    if (!trace_file) {
+      os << "cannot open --trace-out file '" << opts.trace_out << "'\n";
+      return 2;
+    }
+    obs::TraceFormat fmt = obs::TraceFormat::kJsonl;
+    if (opts.trace_format == "chrome") fmt = obs::TraceFormat::kChrome;
+    if (opts.trace_format == "text") fmt = obs::TraceFormat::kText;
+    trace_sink = obs::make_format_sink(fmt, trace_file);
   }
 
   const bool chaos = !opts.fault_plan.empty();
@@ -207,7 +241,9 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
   }
   Table table(cols);
   bool sound = true;
+  bool first_run = true;
   std::vector<std::string> stall_reports;
+  std::vector<RunRecord> records;
   for (double lambda : opts.lambdas) {
     ExperimentConfig cfg;
     cfg.algorithm = opts.algorithm;
@@ -225,7 +261,34 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     for (const auto& [type, p] : opts.loss_by_type) {
       cfg.loss_by_type[type] = p;
     }
-    const auto runs = run_replicated(cfg, opts.seeds);
+    if (first_run) {
+      // Surface every configuration problem (unknown algorithm, malformed
+      // fault plan, bad loss spec, ...) before committing to a sweep.
+      const std::vector<std::string> errors = cfg.validate();
+      if (!errors.empty()) {
+        os << "invalid configuration:\n";
+        for (const std::string& e : errors) os << "  - " << e << "\n";
+        return 2;
+      }
+    }
+    // Inline replication (run_replicated's seed schedule) so the first run
+    // can carry the trace sink and every run can collect spans for the
+    // manifest.
+    std::vector<ExperimentResult> runs;
+    runs.reserve(opts.seeds);
+    const std::uint64_t base_seed = cfg.seed;
+    for (std::size_t s = 0; s < opts.seeds; ++s) {
+      ExperimentConfig run_cfg = cfg;
+      run_cfg.seed = base_seed + 1000 * s + 17;
+      run_cfg.collect_spans =
+          !opts.emit_json.empty() || (first_run && trace_sink != nullptr);
+      if (first_run && trace_sink) run_cfg.trace_sink = trace_sink;
+      first_run = false;
+      runs.push_back(run_experiment(run_cfg));
+      if (!opts.emit_json.empty()) {
+        records.push_back(RunRecord{std::move(run_cfg), runs.back()});
+      }
+    }
     stats::Welford msgs, resp, svc, soj, fwd, ttr, unavail;
     bool drained = true;
     bool stalled = false;
@@ -302,6 +365,14 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
   }
   for (const auto& report : stall_reports) {
     os << "\n" << report << "\n";
+  }
+  if (!opts.emit_json.empty()) {
+    std::ofstream manifest(opts.emit_json);
+    if (!manifest) {
+      os << "cannot open --emit-json file '" << opts.emit_json << "'\n";
+      return 2;
+    }
+    write_run_manifest(manifest, records);
   }
   return sound ? 0 : 1;
 }

@@ -16,6 +16,9 @@
 //                           interposes the ack/retransmit layer per node
 //   --stall X               liveness stall threshold (sim units); X < 0
 //                           disables the monitor, omit for auto
+//   --trace-out FILE        structured event trace of the first run
+//   --trace-format FMT      jsonl | chrome | text   (default jsonl)
+//   --emit-json FILE        machine-readable run manifest (dmx.run.v1)
 //   --csv                   emit CSV instead of an aligned table
 //   --list                  list registered algorithms and exit
 //   --help                  usage
@@ -45,6 +48,15 @@ struct CliOptions {
   std::string fault_plan;
   TransportKind transport = TransportKind::kRaw;
   double stall_threshold = 0.0;  ///< See ExperimentConfig::stall_threshold.
+  /// Structured trace of the sweep's first run (first lambda, first seed);
+  /// empty = no trace.  Format: "jsonl", "chrome" (Perfetto-loadable), or
+  /// "text" (the human-readable dmx_trace format).
+  std::string trace_out;
+  std::string trace_format = "jsonl";
+  /// Run manifest (dmx.run.v1 JSON, every run of the sweep) output path;
+  /// empty = no manifest.  Implies span collection on every run so the
+  /// manifest carries the per-phase latency decomposition.
+  std::string emit_json;
   bool csv = false;
   bool list = false;
   bool help = false;

@@ -12,6 +12,7 @@
 #include "mutex/safety_monitor.hpp"
 #include "net/delay_model.hpp"
 #include "net/msg_kind.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/cluster.hpp"
 #include "stats/recovery_metrics.hpp"
 #include "workload/arrivals.hpp"
@@ -46,6 +47,14 @@ double auto_sim_bound(const ExperimentConfig& cfg) {
   return 10.0 * (gen_time + serve_time) + 1000.0;
 }
 
+void check_positive(std::vector<std::string>& errors, const char* what,
+                    double v) {
+  if (v <= 0.0) {
+    errors.push_back(std::string(what) + " must be positive, got " +
+                     std::to_string(v));
+  }
+}
+
 double auto_stall_threshold(const ExperimentConfig& cfg) {
   // Must comfortably exceed the longest legitimate service pause: a node's
   // worst-case queueing plus one complete recovery episode (token timeout,
@@ -64,14 +73,98 @@ double auto_stall_threshold(const ExperimentConfig& cfg) {
 
 }  // namespace
 
+std::vector<std::string> ExperimentConfig::validate() const {
+  register_builtin_algorithms();
+  std::vector<std::string> errors;
+  if (!mutex::Registry::instance().contains(algorithm)) {
+    std::string known;
+    for (const std::string& n : mutex::Registry::instance().names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    errors.push_back("unknown algorithm \"" + algorithm + "\" (known: " +
+                     known + ")");
+  }
+  if (n_nodes == 0) errors.emplace_back("n_nodes must be at least 1");
+  check_positive(errors, "lambda", lambda);
+  check_positive(errors, "t_msg", t_msg);
+  check_positive(errors, "t_exec", t_exec);
+  if (total_requests == 0) {
+    errors.emplace_back("total_requests must be at least 1");
+  }
+  if (max_sim_units < 0.0) {
+    errors.push_back("max_sim_units must be >= 0 (0 = auto), got " +
+                     std::to_string(max_sim_units));
+  }
+  if (delay_jitter < 0.0) {
+    errors.push_back("delay_jitter must be >= 0, got " +
+                     std::to_string(delay_jitter));
+  }
+  if (delay_kind != DelayKind::kConstant && delay_jitter <= 0.0) {
+    errors.emplace_back(
+        "non-constant delay model needs a positive delay_jitter");
+  }
+  for (const auto& [type, p] : loss_by_type) {
+    // Every shipped message type registers its kind during static
+    // initialization, so an unknown name here is a configuration typo (e.g.
+    // --loss PRIVILEDGE=0.1) that would otherwise silently never match.
+    if (!net::MsgKindRegistry::instance().find(type).valid()) {
+      errors.push_back("loss_by_type names unregistered message type \"" +
+                       type + "\"");
+    }
+    if (p < 0.0 || p > 1.0) {
+      errors.push_back("loss probability for \"" + type +
+                       "\" must be in [0, 1], got " + std::to_string(p));
+    }
+  }
+  if (!fault_plan.empty()) {
+    try {
+      (void)fault::FaultPlan::parse(fault_plan);
+    } catch (const std::exception& e) {
+      errors.push_back(std::string("fault plan: ") + e.what());
+    }
+  }
+  return errors;
+}
+
+ExperimentConfig ExperimentConfigBuilder::build() const {
+  const std::vector<std::string> errors = cfg_.validate();
+  if (!errors.empty()) {
+    std::string joined = "invalid experiment config:";
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    throw std::invalid_argument(joined);
+  }
+  return cfg_;
+}
+
+stats::CounterMap ExperimentResult::messages_by_type() const {
+  return net::counts_by_name(messages_by_kind);
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   register_builtin_algorithms();
-  if (cfg.n_nodes == 0) throw std::invalid_argument("run_experiment: N == 0");
-  if (cfg.lambda <= 0.0) {
-    throw std::invalid_argument("run_experiment: lambda <= 0");
+  if (const std::vector<std::string> errors = cfg.validate();
+      !errors.empty()) {
+    std::string joined = "run_experiment: invalid config:";
+    for (const std::string& e : errors) joined += "\n  - " + e;
+    throw std::invalid_argument(joined);
   }
 
-  runtime::Cluster cluster(cfg.n_nodes, make_delay(cfg), cfg.seed ^ 0x5eedULL);
+  // Sink chain: [SpanCollector ->] cfg.trace_sink.  The collector forwards
+  // events downstream, so one tracer serves both consumers.
+  std::shared_ptr<obs::SpanCollector> span_collector;
+  std::shared_ptr<obs::Sink> sink = cfg.trace_sink;
+  if (cfg.collect_spans) {
+    span_collector = std::make_shared<obs::SpanCollector>(
+        sink, 50.0 * (cfg.t_msg + cfg.t_exec) *
+                  static_cast<double>(cfg.n_nodes));
+    sink = span_collector;
+  }
+  const obs::Tracer tracer =
+      sink ? obs::Tracer(sink) : obs::Tracer();
+
+  runtime::Cluster cluster(cfg.n_nodes, make_delay(cfg), cfg.seed ^ 0x5eedULL,
+                           tracer);
   if (cfg.transport == TransportKind::kReliable) {
     auto tc = net::ReliableTransportConfig::scaled_to(
         sim::SimTime::units(cfg.t_msg));
@@ -88,14 +181,6 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     cluster.use_reliable_transport(tc);
   }
   for (const auto& [type, p] : cfg.loss_by_type) {
-    // Every shipped message type registers its kind during static
-    // initialization, so an unknown name here is a configuration typo (e.g.
-    // --loss PRIVILEDGE=0.1) that would otherwise silently never match.
-    if (!net::MsgKindRegistry::instance().find(type).valid()) {
-      throw std::invalid_argument(
-          "run_experiment: loss_by_type names unregistered message type \"" +
-          type + "\"");
-    }
     cluster.network().faults().set_loss_probability(type, p);
   }
 
@@ -124,6 +209,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     drivers.push_back(std::make_unique<mutex::CsDriver>(
         cluster.simulator(), *algos[i], sim::SimTime::units(cfg.t_exec),
         &monitor, &ids));
+    drivers.back()->set_tracer(tracer);
     drivers.back()->set_completion_callback(
         [&service_hist, &cluster, &recovery](const mutex::CsRequest& req) {
           const double now = cluster.simulator().now().to_units();
@@ -215,10 +301,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   const auto& net_stats = cluster.network().stats();
   r.messages_total = net_stats.sent;
-  const stats::CounterMap by_type = net_stats.sent_by_type();
-  for (const auto& [type, count] : by_type.entries()) {
-    r.messages_by_type[type] = count;
-  }
+  r.messages_by_kind = net_stats.sent_by_kind;
   r.messages_per_cs =
       r.completed > 0 ? static_cast<double>(net_stats.sent) /
                             static_cast<double>(r.completed)
@@ -238,9 +321,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       r.arbiter_terms_per_node.push_back(arb->times_arbiter());
     }
   }
-  const std::uint64_t request_msgs = r.messages_by_type.contains("REQUEST")
-                                         ? r.messages_by_type.at("REQUEST")
-                                         : 0;
+  const std::uint64_t request_msgs =
+      r.messages_by_kind.get(core::RequestMsg::message_kind().index());
   if (request_msgs > 0) {
     r.forwarded_fraction_of_requests =
         static_cast<double>(r.protocol.requests_forwarded) /
@@ -251,6 +333,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         static_cast<double>(r.protocol.requests_forwarded) /
         static_cast<double>(net_stats.sent);
   }
+
+  if (span_collector) {
+    r.spans = std::make_shared<obs::SpanReport>(span_collector->report());
+  }
+  if (sink) sink->flush();
 
   r.transport = cluster.transport_stats();
   r.safety_violations = monitor.violations();

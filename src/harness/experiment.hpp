@@ -9,14 +9,20 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/arbiter_mutex.hpp"
 #include "mutex/params.hpp"
 #include "net/reliable_transport.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "sim/time.hpp"
+#include "stats/counter_map.hpp"
 #include "stats/histogram.hpp"
+#include "stats/kind_counter.hpp"
 #include "stats/welford.hpp"
 
 namespace dmx::harness {
@@ -63,6 +69,109 @@ struct ExperimentConfig {
   /// scaled to t_msg and overridable via params (ack_delay, rto_initial,
   /// rto_max, rto_backoff, rto_jitter, max_retries).
   TransportKind transport = TransportKind::kRaw;
+  /// Structured trace output: every protocol/lifecycle event of the run is
+  /// written here (obs/sinks.hpp ships text, JSONL and Chrome-trace sinks).
+  /// Null = tracing disabled, which costs one predictable branch per emit
+  /// site and nothing else.
+  std::shared_ptr<obs::Sink> trace_sink;
+  /// Assemble request-lifecycle spans (obs/span.hpp) during the run and
+  /// attach the per-phase latency decomposition to the result.  Independent
+  /// of trace_sink: spans can be collected without writing a trace, and a
+  /// trace can be written without the collector in the chain.
+  bool collect_spans = false;
+
+  /// Validate without running: returns one actionable message per problem
+  /// (unknown algorithm name, non-positive rates, malformed fault plan,
+  /// out-of-range loss probability, ...); empty means runnable.
+  /// run_experiment calls this and throws the joined messages, so a driver
+  /// surfaces every configuration error at once instead of dying on the
+  /// first — use it directly to report problems before committing to a run.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Fluent construction with fail-fast validation: build() runs
+/// ExperimentConfig::validate() and throws std::invalid_argument listing
+/// every problem.  Plain aggregate initialization of ExperimentConfig keeps
+/// working; the builder is for call sites assembling a config from user
+/// input (CLI flags, sweep scripts) that want errors surfaced immediately.
+class ExperimentConfigBuilder {
+ public:
+  ExperimentConfigBuilder& algorithm(std::string name) {
+    cfg_.algorithm = std::move(name);
+    return *this;
+  }
+  ExperimentConfigBuilder& nodes(std::size_t n) {
+    cfg_.n_nodes = n;
+    return *this;
+  }
+  ExperimentConfigBuilder& lambda(double rate) {
+    cfg_.lambda = rate;
+    return *this;
+  }
+  ExperimentConfigBuilder& t_msg(double units) {
+    cfg_.t_msg = units;
+    return *this;
+  }
+  ExperimentConfigBuilder& t_exec(double units) {
+    cfg_.t_exec = units;
+    return *this;
+  }
+  ExperimentConfigBuilder& total_requests(std::uint64_t n) {
+    cfg_.total_requests = n;
+    return *this;
+  }
+  ExperimentConfigBuilder& seed(std::uint64_t s) {
+    cfg_.seed = s;
+    return *this;
+  }
+  ExperimentConfigBuilder& param(const std::string& key, double value) {
+    cfg_.params.set(key, value);
+    return *this;
+  }
+  ExperimentConfigBuilder& param(const std::string& key,
+                                 const std::string& value) {
+    cfg_.params.set(key, value);
+    return *this;
+  }
+  ExperimentConfigBuilder& delay(DelayKind kind, double jitter = 0.0) {
+    cfg_.delay_kind = kind;
+    cfg_.delay_jitter = jitter;
+    return *this;
+  }
+  ExperimentConfigBuilder& loss(const std::string& msg_type, double p) {
+    cfg_.loss_by_type[msg_type] = p;
+    return *this;
+  }
+  ExperimentConfigBuilder& fault_plan(std::string plan) {
+    cfg_.fault_plan = std::move(plan);
+    return *this;
+  }
+  ExperimentConfigBuilder& stall_threshold(double units) {
+    cfg_.stall_threshold = units;
+    return *this;
+  }
+  ExperimentConfigBuilder& strict_safety(bool on = true) {
+    cfg_.strict_safety = on;
+    return *this;
+  }
+  ExperimentConfigBuilder& transport(TransportKind kind) {
+    cfg_.transport = kind;
+    return *this;
+  }
+  ExperimentConfigBuilder& trace_sink(std::shared_ptr<obs::Sink> sink) {
+    cfg_.trace_sink = std::move(sink);
+    return *this;
+  }
+  ExperimentConfigBuilder& collect_spans(bool on = true) {
+    cfg_.collect_spans = on;
+    return *this;
+  }
+
+  /// Throws std::invalid_argument joining every validation error.
+  [[nodiscard]] ExperimentConfig build() const;
+
+ private:
+  ExperimentConfig cfg_;
 };
 
 struct ExperimentResult {
@@ -71,10 +180,14 @@ struct ExperimentResult {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
 
-  // Message economy (the paper's headline metric).
+  // Message economy (the paper's headline metric).  The kind-indexed
+  // counter is the source of truth (a copy of the network's dense per-kind
+  // tally); messages_by_type() derives the name-keyed view through the one
+  // registry translation point (net::counts_by_name) on demand.
   std::uint64_t messages_total = 0;
   std::uint64_t bytes_total = 0;
-  std::map<std::string, std::uint64_t> messages_by_type;
+  stats::KindCounter messages_by_kind;
+  [[nodiscard]] stats::CounterMap messages_by_type() const;
   double messages_per_cs = 0.0;
   double bytes_per_cs = 0.0;
   double forwarded_fraction_of_requests = 0.0;  ///< Fig. 5 numerator choice.
@@ -115,6 +228,9 @@ struct ExperimentResult {
 
   // Reliability plane (all-zero when transport == kRaw).
   net::TransportStats transport;
+
+  // Request-lifecycle latency decomposition; set iff cfg.collect_spans.
+  std::shared_ptr<const obs::SpanReport> spans;
 
   double sim_duration_units = 0.0;
   std::uint64_t sim_events = 0;

@@ -1,0 +1,227 @@
+#include "harness/manifest.hpp"
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace dmx::harness {
+
+namespace {
+
+std::string_view delay_name(DelayKind k) {
+  switch (k) {
+    case DelayKind::kConstant:
+      return "constant";
+    case DelayKind::kUniform:
+      return "uniform";
+    case DelayKind::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+std::string_view transport_name(TransportKind k) {
+  return k == TransportKind::kReliable ? "reliable" : "raw";
+}
+
+void write_config(obs::JsonWriter& w, const ExperimentConfig& cfg) {
+  w.begin_object();
+  w.key("algorithm");
+  w.string(cfg.algorithm);
+  w.key("n_nodes");
+  w.number(static_cast<std::uint64_t>(cfg.n_nodes));
+  w.key("lambda");
+  w.number(cfg.lambda);
+  w.key("t_msg");
+  w.number(cfg.t_msg);
+  w.key("t_exec");
+  w.number(cfg.t_exec);
+  w.key("total_requests");
+  w.number(cfg.total_requests);
+  w.key("seed");
+  w.number(cfg.seed);
+  w.key("transport");
+  w.string(transport_name(cfg.transport));
+  w.key("delay");
+  w.string(delay_name(cfg.delay_kind));
+  w.key("delay_jitter");
+  w.number(cfg.delay_jitter);
+  w.key("fault_plan");
+  w.string(cfg.fault_plan);
+  w.key("stall_threshold");
+  w.number(cfg.stall_threshold);
+  w.key("params");
+  w.begin_object();
+  for (const auto& [k, v] : cfg.params.nums()) {
+    w.key(k);
+    w.number(v);
+  }
+  w.end_object();
+  w.key("loss_by_type");
+  w.begin_object();
+  for (const auto& [k, v] : cfg.loss_by_type) {
+    w.key(k);
+    w.number(v);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_welford(obs::JsonWriter& w, const stats::Welford& s) {
+  w.begin_object();
+  w.key("count");
+  w.number(s.count());
+  w.key("mean");
+  w.number(s.mean());
+  w.key("stddev");
+  w.number(s.stddev());
+  w.key("min");
+  w.number(s.count() > 0 ? s.min() : 0.0);
+  w.key("max");
+  w.number(s.count() > 0 ? s.max() : 0.0);
+  w.end_object();
+}
+
+void write_phase(obs::JsonWriter& w, const obs::PhaseStats& p) {
+  w.begin_object();
+  w.key("count");
+  w.number(p.moments.count());
+  w.key("mean");
+  w.number(p.moments.mean());
+  w.key("p50");
+  w.number(p.hist.quantile(0.50));
+  w.key("p95");
+  w.number(p.hist.quantile(0.95));
+  w.key("p99");
+  w.number(p.hist.quantile(0.99));
+  w.key("max");
+  w.number(p.moments.count() > 0 ? p.moments.max() : 0.0);
+  w.end_object();
+}
+
+void write_result(obs::JsonWriter& w, const ExperimentResult& r) {
+  w.begin_object();
+  w.key("submitted");
+  w.number(r.submitted);
+  w.key("completed");
+  w.number(r.completed);
+  w.key("messages_total");
+  w.number(r.messages_total);
+  w.key("bytes_total");
+  w.number(r.bytes_total);
+  w.key("messages_per_cs");
+  w.number(r.messages_per_cs);
+  w.key("bytes_per_cs");
+  w.number(r.bytes_per_cs);
+  w.key("messages_by_type");
+  w.begin_object();
+  const stats::CounterMap by_type = r.messages_by_type();
+  for (const auto& [type, count] : by_type.entries()) {
+    w.key(type);
+    w.number(count);
+  }
+  w.end_object();
+  w.key("forwarded_fraction_of_requests");
+  w.number(r.forwarded_fraction_of_requests);
+  w.key("response_time");
+  write_welford(w, r.response_time);
+  w.key("service_time");
+  write_welford(w, r.service_time);
+  w.key("sojourn_time");
+  write_welford(w, r.sojourn_time);
+  w.key("service_p50");
+  w.number(r.service_p50);
+  w.key("service_p95");
+  w.number(r.service_p95);
+  w.key("service_p99");
+  w.number(r.service_p99);
+  w.key("safety_violations");
+  w.number(r.safety_violations);
+  w.key("max_occupancy");
+  w.number(static_cast<std::int64_t>(r.max_occupancy));
+  w.key("drained");
+  w.boolean(r.drained);
+  w.key("stalled");
+  w.boolean(r.stalled);
+  w.key("aborted_by_crash");
+  w.number(r.aborted_by_crash);
+  w.key("faults_injected");
+  w.number(r.faults_injected);
+  w.key("faults_recovered");
+  w.number(r.faults_recovered);
+  w.key("unavailability");
+  w.number(r.unavailability);
+  w.key("time_to_recovery");
+  write_welford(w, r.time_to_recovery);
+  w.key("transport");
+  w.begin_object();
+  w.key("data_sent");
+  w.number(r.transport.data_sent);
+  w.key("retransmits");
+  w.number(r.transport.retransmits);
+  w.key("acks_sent");
+  w.number(r.transport.acks_sent);
+  w.key("dup_dropped");
+  w.number(r.transport.dup_dropped);
+  w.key("reorder_buffered");
+  w.number(r.transport.reorder_buffered);
+  w.key("stale_dropped");
+  w.number(r.transport.stale_dropped);
+  w.key("abandoned");
+  w.number(r.transport.abandoned);
+  w.end_object();
+  w.key("sim_duration_units");
+  w.number(r.sim_duration_units);
+  w.key("sim_events");
+  w.number(r.sim_events);
+  if (r.spans) {
+    w.key("spans");
+    w.begin_object();
+    w.key("completed");
+    w.number(r.spans->completed);
+    w.key("aborted");
+    w.number(r.spans->aborted);
+    w.key("open");
+    w.number(r.spans->open);
+    w.key("phases");
+    w.begin_object();
+    w.key("queue");
+    write_phase(w, r.spans->queue);
+    w.key("transit");
+    write_phase(w, r.spans->transit);
+    w.key("token_wait");
+    write_phase(w, r.spans->token_wait);
+    w.key("acquire");
+    write_phase(w, r.spans->acquire);
+    w.key("cs");
+    write_phase(w, r.spans->cs);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void write_run_manifest(std::ostream& os, const std::vector<RunRecord>& runs) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.string("dmx.run.v1");
+  w.key("runs");
+  w.begin_array();
+  for (const RunRecord& run : runs) {
+    w.begin_object();
+    w.key("config");
+    write_config(w, run.config);
+    w.key("result");
+    write_result(w, run.result);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << w.str() << "\n";
+}
+
+}  // namespace dmx::harness

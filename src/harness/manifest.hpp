@@ -1,0 +1,27 @@
+// Machine-readable run manifest ("dmx.run.v1").
+//
+// One JSON document per sweep: every run's full configuration and result,
+// including the per-phase span histograms when the run collected them.  The
+// schema is documented in DESIGN.md §9 and validated by
+// scripts/obs_smoke.sh in CI; bump the schema string on any breaking field
+// change.  Output is deterministic (std::to_chars number formatting, sorted
+// maps), so manifests from the same seed diff clean.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace dmx::harness {
+
+/// One executed run: the exact config it ran with and what came back.
+struct RunRecord {
+  ExperimentConfig config;
+  ExperimentResult result;
+};
+
+/// Writes {"schema":"dmx.run.v1","runs":[...]} to `os`.
+void write_run_manifest(std::ostream& os, const std::vector<RunRecord>& runs);
+
+}  // namespace dmx::harness

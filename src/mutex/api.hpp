@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "net/node_id.hpp"
+#include "obs/lifecycle.hpp"
 #include "runtime/process.hpp"
 #include "sim/time.hpp"
 
@@ -61,8 +62,11 @@ class MutexAlgorithm : public runtime::Process {
   }
 
  protected:
-  /// Subclasses call this when the local node may enter its CS.
+  /// Subclasses call this when the local node may enter its CS.  Every
+  /// algorithm's grant path funnels through here, so this is the single
+  /// point that stamps cs.granted onto the request's lifecycle span.
   void grant(const CsRequest& req) {
+    emit(obs::kEvCsGranted, req.request_id);
     if (grant_cb_) grant_cb_(req);
   }
 

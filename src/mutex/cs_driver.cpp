@@ -19,8 +19,10 @@ void CsDriver::submit(int priority) {
   ++submitted_;
   if (outstanding_) {
     queue_.push_back(QueuedDemand{sim_.now(), priority});
+    emit(obs::kEvCsSubmitted, 0, static_cast<std::int64_t>(queue_.size()));
     return;
   }
+  emit(obs::kEvCsSubmitted, 0, 0);
   issue(sim_.now(), priority);
 }
 
@@ -33,6 +35,10 @@ void CsDriver::issue(sim::SimTime submitted_at, int priority) {
   current_.issued_at = sim_.now();
   current_.priority = priority;
   outstanding_ = true;
+  // value = local queue wait; the span collector derives the submit time
+  // from it, so spans survive even when cs.submitted predates the sink.
+  emit(obs::kEvCsIssued, current_.request_id, 0,
+       (current_.issued_at - current_.submitted_at).to_units());
   algo_.request(current_);
 }
 
@@ -57,6 +63,8 @@ void CsDriver::finish() {
   service_time_.add(sim_.now().to_units() - current_.issued_at.to_units());
   sojourn_time_.add(sim_.now().to_units() - current_.submitted_at.to_units());
   const CsRequest done = current_;
+  emit(obs::kEvCsReleased, done.request_id, 0,
+       (sim_.now() - granted_at_).to_units());
   algo_.release();
   if (completion_cb_) completion_cb_(done);
   if (!queue_.empty() && !algo_.crashed()) {
@@ -73,7 +81,10 @@ void CsDriver::on_node_crashed() {
     if (monitor_ != nullptr) monitor_->on_exit(algo_.id(), sim_.now());
     in_cs_ = false;
   }
-  if (outstanding_) ++aborted_;
+  if (outstanding_) {
+    ++aborted_;
+    emit(obs::kEvCsAborted, current_.request_id);
+  }
   aborted_ += queue_.size();
   queue_.clear();
   outstanding_ = false;

@@ -14,6 +14,8 @@
 
 #include "mutex/api.hpp"
 #include "mutex/safety_monitor.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "stats/welford.hpp"
 
@@ -44,6 +46,12 @@ class CsDriver {
   /// applications model work done inside the critical section, e.g. the
   /// read half of a read-modify-write.
   void set_grant_callback(CompletionCallback cb) { grant_cb_ = std::move(cb); }
+
+  /// Attach structured tracing: the driver emits the application half of
+  /// the request lifecycle (cs.submitted / cs.issued / cs.released /
+  /// cs.aborted, see obs/lifecycle.hpp); the algorithm underneath emits
+  /// cs.granted and the protocol-side events.
+  void set_tracer(obs::Tracer tracer) { tracer_ = std::move(tracer); }
 
   /// New critical-section demand arrives (from the workload generator).
   void submit(int priority = 0);
@@ -77,6 +85,13 @@ class CsDriver {
   void on_grant(const CsRequest& req);
   void finish();
 
+  void emit(obs::EventKind kind, std::uint64_t req, std::int64_t arg = 0,
+            double value = 0.0) const {
+    if (!tracer_.enabled()) return;
+    tracer_.write(
+        obs::Event{sim_.now(), kind, algo_.id().value(), req, arg, value});
+  }
+
   sim::Simulator& sim_;
   MutexAlgorithm& algo_;
   sim::SimTime t_exec_;
@@ -84,6 +99,7 @@ class CsDriver {
   RequestIdSource* ids_;
   CompletionCallback completion_cb_;
   CompletionCallback grant_cb_;
+  obs::Tracer tracer_;
 
   struct QueuedDemand {
     sim::SimTime arrived;

@@ -1,0 +1,19 @@
+// Reliability-plane event kinds (emitted by ReliableEndpoint).
+//
+// Field conventions:
+//   transport.retransmit  arg=peer node   value=retry count of the frame
+//   transport.abandon     arg=peer node   value=frames dropped at the
+//                                         retry cap (peer presumed dead)
+//   transport.fence       arg=peer node   value=frames fenced by the
+//                                         peer's epoch bump (it restarted)
+#pragma once
+
+#include "obs/event.hpp"
+
+namespace dmx::net {
+
+DMX_REGISTER_EVENT(kEvRtRetransmit, "transport.retransmit", "transport");
+DMX_REGISTER_EVENT(kEvRtAbandon, "transport.abandon", "transport");
+DMX_REGISTER_EVENT(kEvRtFence, "transport.fence", "transport");
+
+}  // namespace dmx::net

@@ -33,6 +33,9 @@
 #include <type_traits>
 #include <vector>
 
+#include "stats/counter_map.hpp"
+#include "stats/kind_counter.hpp"
+
 namespace dmx::net {
 
 /// Dense identifier of one registered message type.  Default-constructed
@@ -95,6 +98,12 @@ class MsgKindRegistry {
   std::deque<std::string> names_;  ///< Deque: element storage never moves.
   std::map<std::string, std::uint16_t, std::less<>> by_name_;
 };
+
+/// THE translation point from dense kind-indexed counters to name-keyed
+/// counts: every table, artifact and result view that spells message names
+/// derives them through this one function, so the spellings cannot diverge.
+/// Cold path; zero slots are skipped.
+[[nodiscard]] stats::CounterMap counts_by_name(const stats::KindCounter& c);
 
 }  // namespace dmx::net
 

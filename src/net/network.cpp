@@ -6,14 +6,7 @@
 namespace dmx::net {
 
 stats::CounterMap NetworkStats::sent_by_type() const {
-  stats::CounterMap out;
-  const auto& registry = MsgKindRegistry::instance();
-  for (std::size_t i = 0; i < sent_by_kind.size(); ++i) {
-    const std::uint64_t count = sent_by_kind.get(i);
-    if (count == 0) continue;
-    out.increment(std::string(registry.name(MsgKind::from_index(i))), count);
-  }
-  return out;
+  return counts_by_name(sent_by_kind);
 }
 
 Network::Network(sim::Simulator& sim, std::size_t n_nodes,

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/events.hpp"
+
 namespace dmx::net {
 
 ReliableTransportConfig ReliableTransportConfig::scaled_to(sim::SimTime t_msg) {
@@ -47,13 +49,20 @@ std::string RtAck::describe() const {
 ReliableEndpoint::ReliableEndpoint(Network& net, NodeId self,
                                    MessageHandler& upper,
                                    ReliableTransportConfig cfg,
-                                   std::uint64_t rng_seed)
+                                   std::uint64_t rng_seed, obs::Tracer tracer)
     : net_(net), sim_(net.simulator()), self_(self), upper_(upper), cfg_(cfg),
-      rng_(rng_seed), peers_(net.size()) {
+      rng_(rng_seed), tracer_(std::move(tracer)), peers_(net.size()) {
   if (!self.valid() || self.index() >= net.size()) {
     throw std::out_of_range("ReliableEndpoint: node id out of range");
   }
   for (auto& ps : peers_) ps.rto = cfg_.rto_initial;
+}
+
+void ReliableEndpoint::emit(obs::EventKind kind, NodeId peer,
+                            double value) const {
+  if (!tracer_.enabled()) return;
+  tracer_.write(obs::Event{sim_.now(), kind, self_.value(), 0,
+                           static_cast<std::int64_t>(peer.value()), value});
 }
 
 void ReliableEndpoint::send(NodeId src, NodeId dst, PayloadPtr payload) {
@@ -115,6 +124,7 @@ void ReliableEndpoint::note_peer_epoch(NodeId peer, std::uint32_t e) {
   // incarnation that no longer exists.  Fence — abandon, never replay — and
   // restart the sequence space, matching the fresh rx state the new
   // incarnation holds for us.
+  emit(kEvRtFence, peer, static_cast<double>(ps.window.size()));
   stats_.abandoned += ps.window.size();
   ps.window.clear();
   ps.next_seq = 1;
@@ -315,6 +325,7 @@ void ReliableEndpoint::on_rto(NodeId peer) {
     // itself once loss heals instead of buffering every later frame
     // forever.  If the peer really is dead, the eventual epoch exchange
     // resynchronises as before.
+    emit(kEvRtAbandon, peer, static_cast<double>(ps.window.size()));
     stats_.abandoned += ps.window.size();
     ps.window.clear();
     ++ps.tx_gen;
@@ -322,6 +333,7 @@ void ReliableEndpoint::on_rto(NodeId peer) {
     ps.rto = cfg_.rto_initial;
     return;
   }
+  emit(kEvRtRetransmit, peer, static_cast<double>(ps.window.size()));
   for (auto& u : ps.window) {
     ++u.retries;
     ++stats_.retransmits;

@@ -53,6 +53,7 @@
 #include "net/network.hpp"
 #include "net/payload.hpp"
 #include "net/transport.hpp"
+#include "obs/tracer.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "stats/kind_counter.hpp"
@@ -149,8 +150,11 @@ struct RtAck final : Msg<RtAck> {
 /// Process's transport at it.
 class ReliableEndpoint final : public Transport, public MessageHandler {
  public:
+  /// `tracer` (optional) receives transport.retransmit / .abandon / .fence
+  /// events so retransmission storms and fencing show up on run timelines.
   ReliableEndpoint(Network& net, NodeId self, MessageHandler& upper,
-                   ReliableTransportConfig cfg, std::uint64_t rng_seed);
+                   ReliableTransportConfig cfg, std::uint64_t rng_seed,
+                   obs::Tracer tracer = {});
 
   // Transport: downcalls from the Process.  src must equal the owning node.
   void send(NodeId src, NodeId dst, PayloadPtr payload) override;
@@ -216,6 +220,7 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
   void send_standalone_ack(NodeId peer);
   void arm_rto(NodeId peer);
   void on_rto(NodeId peer);
+  void emit(obs::EventKind kind, NodeId peer, double value) const;
   [[nodiscard]] std::uint64_t sack_mask(const PeerState& ps) const;
   PeerState& peer_state(NodeId peer) { return peers_[peer.index()]; }
 
@@ -225,6 +230,7 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
   MessageHandler& upper_;
   ReliableTransportConfig cfg_;
   sim::Rng rng_;
+  obs::Tracer tracer_;
   std::uint32_t epoch_ = 1;
   bool down_ = false;
   std::vector<PeerState> peers_;

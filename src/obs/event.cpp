@@ -1,0 +1,63 @@
+#include "obs/event.hpp"
+
+#include <stdexcept>
+
+namespace dmx::obs {
+
+EventKindRegistry& EventKindRegistry::instance() {
+  static EventKindRegistry registry;
+  return registry;
+}
+
+EventKind EventKindRegistry::intern(std::string_view name,
+                                    std::string_view category) {
+  if (name.empty()) {
+    throw std::invalid_argument("EventKindRegistry: empty event name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return EventKind(it->second);
+  }
+  if (entries_.size() >= EventKind::kInvalidRaw) {
+    throw std::length_error("EventKindRegistry: kind space exhausted");
+  }
+  const auto raw = static_cast<std::uint16_t>(entries_.size());
+  entries_.push_back(Entry{std::string(name), std::string(category)});
+  by_name_.emplace(entries_.back().name, raw);
+  return EventKind(raw);
+}
+
+EventKind EventKindRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return EventKind(it->second);
+  }
+  return EventKind{};
+}
+
+std::string_view EventKindRegistry::name(EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!kind.valid() || kind.index() >= entries_.size()) return "<invalid>";
+  return entries_[kind.index()].name;
+}
+
+std::string_view EventKindRegistry::category(EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!kind.valid() || kind.index() >= entries_.size()) return "";
+  return entries_[kind.index()].category;
+}
+
+std::size_t EventKindRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<std::string> EventKindRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+}  // namespace dmx::obs

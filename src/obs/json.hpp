@@ -1,0 +1,104 @@
+// Minimal streaming JSON writer (no dependencies, deterministic output).
+//
+// Used by the machine-readable sinks and the run-manifest emitter.  Numbers
+// are formatted with std::to_chars shortest-round-trip, so identical values
+// always serialize to identical bytes — a requirement for the golden JSONL
+// trace tests and for diffable artifacts.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dmx::obs {
+
+/// Append a JSON string literal (with quotes) to `out`.
+void json_append_string(std::string& out, std::string_view s);
+
+/// Append a shortest-round-trip number.  NaN/Inf (not valid JSON) are
+/// serialized as null.
+void json_append_number(std::string& out, double v);
+void json_append_number(std::string& out, std::int64_t v);
+void json_append_number(std::string& out, std::uint64_t v);
+
+/// Streaming writer with automatic comma placement.  Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("schema"); w.string("dmx.run.v1");
+///   w.key("runs"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///   os << w.str();
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    comma();
+    json_append_string(out_, k);
+    out_.push_back(':');
+    pending_value_ = true;
+  }
+
+  void string(std::string_view s) {
+    comma();
+    json_append_string(out_, s);
+  }
+  void number(double v) {
+    comma();
+    json_append_number(out_, v);
+  }
+  void number(std::int64_t v) {
+    comma();
+    json_append_number(out_, v);
+  }
+  void number(std::uint64_t v) {
+    comma();
+    json_append_number(out_, v);
+  }
+  void boolean(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void null() {
+    comma();
+    out_ += "null";
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  void clear() {
+    out_.clear();
+    depth_ = 0;
+    need_comma_ = false;
+    pending_value_ = false;
+  }
+
+ private:
+  void comma() {
+    if (need_comma_ && !pending_value_) out_.push_back(',');
+    need_comma_ = true;
+    pending_value_ = false;
+  }
+  void open(char c) {
+    comma();
+    out_.push_back(c);
+    ++depth_;
+    need_comma_ = false;
+  }
+  void close(char c) {
+    out_.push_back(c);
+    --depth_;
+    need_comma_ = true;
+    pending_value_ = false;
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+}  // namespace dmx::obs

@@ -1,0 +1,34 @@
+// The request-lifecycle event vocabulary.
+//
+// These kinds are the observability layer's contract with the rest of the
+// system: any component that emits them with the CsRequest id in Event::req
+// gets its requests assembled into latency-decomposition spans by the
+// SpanCollector (span.hpp).  Module-specific kinds (arbiter recovery,
+// transport retransmits, fault injections) are registered in their own
+// modules' events headers; only the kinds the collector interprets live
+// here.
+//
+// Field conventions (zero = not applicable):
+//   cs.submitted   req=0           arg=local queue depth after enqueue
+//   cs.issued      req=request id  value=local queue wait, time units
+//                                  (submit time = event time - value)
+//   req.queued     req=request id  arg=arbiter/holder node that queued it
+//   req.forwarded  req=request id  arg=node the request was forwarded to
+//   cs.granted     req=request id
+//   cs.released    req=request id  value=CS hold time, time units
+//   cs.aborted     req=request id  (node crashed with the request open)
+#pragma once
+
+#include "obs/event.hpp"
+
+namespace dmx::obs {
+
+DMX_REGISTER_EVENT(kEvCsSubmitted, "cs.submitted", "cs");
+DMX_REGISTER_EVENT(kEvCsIssued, "cs.issued", "cs");
+DMX_REGISTER_EVENT(kEvReqQueued, "req.queued", "request");
+DMX_REGISTER_EVENT(kEvReqForwarded, "req.forwarded", "request");
+DMX_REGISTER_EVENT(kEvCsGranted, "cs.granted", "cs");
+DMX_REGISTER_EVENT(kEvCsReleased, "cs.released", "cs");
+DMX_REGISTER_EVENT(kEvCsAborted, "cs.aborted", "cs");
+
+}  // namespace dmx::obs

@@ -1,0 +1,28 @@
+// Sink: where structured events (and assembled spans) go.
+#pragma once
+
+#include "obs/event.hpp"
+
+namespace dmx::obs {
+
+struct Span;
+
+/// Receives events.  Implementations must tolerate high event rates; text
+/// detail is only materialized by sinks that call the DetailRef.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  virtual void on_event(const Event& e, const DetailRef& detail) = 0;
+
+  /// Completed request-lifecycle span (emitted by a SpanCollector placed
+  /// upstream).  Default: ignore.
+  virtual void on_span(const Span& s) { (void)s; }
+
+  /// Flush any buffered output.  Buffering sinks (TextSink, the file
+  /// sinks) override; callers must flush before reading the underlying
+  /// stream.
+  virtual void flush() {}
+};
+
+}  // namespace dmx::obs

@@ -1,0 +1,66 @@
+#include "obs/span.hpp"
+
+#include "obs/lifecycle.hpp"
+
+namespace dmx::obs {
+
+void SpanCollector::on_event(const Event& e, const DetailRef& detail) {
+  if (downstream_) downstream_->on_event(e, detail);
+  if (e.req == 0) return;  // lifecycle assembly keys on the request id
+
+  if (e.kind == kEvCsIssued) {
+    Span& s = open_[e.req];
+    s.request_id = e.req;
+    s.node = e.node;
+    s.issued = e.time;
+    s.submitted = e.time - sim::SimTime::units(e.value);
+    return;
+  }
+  auto it = open_.find(e.req);
+  if (it == open_.end()) return;  // grant/release for a request never issued
+  Span& s = it->second;
+
+  if (e.kind == kEvReqQueued) {
+    // Re-queues happen (resubmission after invalidation); the first arrival
+    // is the transit boundary, later ones are recovery noise.
+    if (!s.has_queued) {
+      s.has_queued = true;
+      s.queued = e.time;
+    }
+  } else if (e.kind == kEvReqForwarded) {
+    ++s.forwards;
+  } else if (e.kind == kEvCsGranted) {
+    // Keep the first grant; a duplicate grant for the same id is a protocol
+    // anomaly the SafetyMonitor reports, not something to fold into spans.
+    if (!s.granted_seen) {
+      s.granted_seen = true;
+      s.granted = e.time;
+    }
+  } else if (e.kind == kEvCsReleased) {
+    if (s.granted_seen) {
+      s.released = e.time;
+      s.complete = true;
+    }
+    finalize(e.req, s);
+  } else if (e.kind == kEvCsAborted) {
+    s.aborted = true;
+    finalize(e.req, s);
+  }
+}
+
+void SpanCollector::finalize(std::uint64_t req, Span& s) {
+  if (s.complete) {
+    ++report_.completed;
+    report_.queue.add(s.queue_wait());
+    report_.transit.add(s.transit());
+    report_.token_wait.add(s.token_wait());
+    report_.acquire.add(s.acquire());
+    report_.cs.add(s.cs_time());
+  } else {
+    ++report_.aborted;
+  }
+  if (downstream_) downstream_->on_span(s);
+  open_.erase(req);
+}
+
+}  // namespace dmx::obs

@@ -1,0 +1,129 @@
+// Request-lifecycle spans: one per CsRequest, assembled from events.
+//
+// The SpanCollector sits in the sink chain and watches the lifecycle kinds
+// (lifecycle.hpp).  For every request it reconstructs the paper's delay
+// decomposition (§3.3):
+//
+//   submitted --queue--> issued --transit--> queued --token_wait--> granted
+//                                                     --cs--> released
+//
+//   queue       local wait behind this node's earlier demand (driver queue)
+//   transit     issue -> first arrival in an arbiter/holder queue; only
+//               algorithms that emit req.queued (the arbiter, centralized)
+//               populate it
+//   token_wait  queued -> granted (the token/permission wait proper); for
+//               algorithms without req.queued this is folded into acquire
+//   acquire     issue -> granted (always available, transit + token_wait)
+//   cs          granted -> released (the critical section itself)
+//
+// Completed spans are forwarded downstream (on_span) so file sinks can
+// serialize them, and reduced into a SpanReport of per-phase Welford stats
+// and stats::Histogram distributions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "obs/sink.hpp"
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+#include "stats/welford.hpp"
+
+namespace dmx::obs {
+
+/// One request's assembled lifecycle.  Durations are in time units and are
+/// non-negative for any span built from a well-ordered event stream.
+struct Span {
+  std::uint64_t request_id = 0;
+  std::int32_t node = -1;
+  sim::SimTime submitted;
+  sim::SimTime issued;
+  sim::SimTime queued;     ///< First req.queued; meaningful iff has_queued.
+  sim::SimTime granted;
+  sim::SimTime released;   ///< Meaningful iff complete.
+  bool has_queued = false;
+  bool granted_seen = false;
+  bool complete = false;   ///< cs.released observed.
+  bool aborted = false;    ///< cs.aborted observed (node crash).
+  std::int64_t forwards = 0;  ///< req.forwarded count.
+
+  [[nodiscard]] double queue_wait() const {
+    return (issued - submitted).to_units();
+  }
+  [[nodiscard]] double transit() const {
+    return has_queued ? (queued - issued).to_units() : 0.0;
+  }
+  [[nodiscard]] double token_wait() const {
+    return has_queued ? (granted - queued).to_units() : (granted - issued).to_units();
+  }
+  [[nodiscard]] double acquire() const { return (granted - issued).to_units(); }
+  [[nodiscard]] double cs_time() const { return (released - granted).to_units(); }
+};
+
+/// Per-phase accumulation: moments plus a distribution.
+struct PhaseStats {
+  stats::Welford moments;
+  stats::Histogram hist;
+
+  explicit PhaseStats(double hi, std::size_t bins = 1024)
+      : hist(0.0, hi, bins) {}
+
+  void add(double v) {
+    moments.add(v);
+    hist.add(v);
+  }
+};
+
+/// Reduction of all completed spans in a run.
+struct SpanReport {
+  std::uint64_t completed = 0;  ///< Full submitted->released lifecycles.
+  std::uint64_t aborted = 0;    ///< Requests killed by a node crash.
+  std::uint64_t open = 0;       ///< Still unfinished when the run ended.
+  PhaseStats queue;
+  PhaseStats transit;
+  PhaseStats token_wait;
+  PhaseStats acquire;
+  PhaseStats cs;
+
+  /// `hist_max` bounds every phase histogram (overflow clamps to the top
+  /// edge in quantile queries, same policy as the service-time histogram).
+  explicit SpanReport(double hist_max)
+      : queue(hist_max), transit(hist_max), token_wait(hist_max),
+        acquire(hist_max), cs(hist_max) {}
+};
+
+/// Assembles spans from the event stream and forwards everything (events
+/// and completed spans) to an optional downstream sink.
+class SpanCollector final : public Sink {
+ public:
+  explicit SpanCollector(std::shared_ptr<Sink> downstream = nullptr,
+                         double hist_max = 100.0)
+      : downstream_(std::move(downstream)), report_(hist_max) {}
+
+  void on_event(const Event& e, const DetailRef& detail) override;
+  void flush() override {
+    if (downstream_) downstream_->flush();
+  }
+
+  /// The reduction over everything seen so far.  Spans still open are
+  /// counted on the fly so the report is valid mid-run too.
+  [[nodiscard]] const SpanReport& report() {
+    report_.open = open_.size();
+    return report_;
+  }
+
+  [[nodiscard]] const std::shared_ptr<Sink>& downstream() const {
+    return downstream_;
+  }
+
+ private:
+  void finalize(std::uint64_t req, Span& s);
+
+  std::shared_ptr<Sink> downstream_;
+  std::map<std::uint64_t, Span> open_;
+  SpanReport report_;
+};
+
+}  // namespace dmx::obs

@@ -1,0 +1,37 @@
+// Tracer: the front-end handed to processes, drivers and transports.
+//
+// A disabled tracer costs one branch per emit site and performs no
+// allocation and no formatting: emit helpers check enabled() before even
+// constructing the Event, and detail formatters are passed by reference and
+// only run if a text-producing sink asks.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "obs/sink.hpp"
+
+namespace dmx::obs {
+
+class Tracer {
+ public:
+  Tracer() = default;  // disabled
+
+  explicit Tracer(std::shared_ptr<Sink> sink) : sink_(std::move(sink)) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] const std::shared_ptr<Sink>& sink() const { return sink_; }
+
+  void write(const Event& e) const {
+    if (sink_) sink_->on_event(e, DetailRef{});
+  }
+
+  void write(const Event& e, const DetailRef& detail) const {
+    if (sink_) sink_->on_event(e, detail);
+  }
+
+ private:
+  std::shared_ptr<Sink> sink_;
+};
+
+}  // namespace dmx::obs

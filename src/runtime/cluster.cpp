@@ -3,7 +3,7 @@
 namespace dmx::runtime {
 
 Cluster::Cluster(std::size_t n_nodes, std::unique_ptr<net::DelayModel> delay,
-                 std::uint64_t seed, trace::Tracer tracer)
+                 std::uint64_t seed, obs::Tracer tracer)
     : owned_sim_(std::make_unique<sim::Simulator>()), sim_(owned_sim_.get()),
       net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
                                           seed)),
@@ -12,7 +12,7 @@ Cluster::Cluster(std::size_t n_nodes, std::unique_ptr<net::DelayModel> delay,
 
 Cluster::Cluster(sim::Simulator& shared_sim, std::size_t n_nodes,
                  std::unique_ptr<net::DelayModel> delay, std::uint64_t seed,
-                 trace::Tracer tracer)
+                 obs::Tracer tracer)
     : sim_(&shared_sim),
       net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
                                           seed)),
@@ -62,7 +62,7 @@ Process* Cluster::install(net::NodeId id, std::unique_ptr<Process> process) {
     const std::uint64_t ep_seed =
         seed_ ^ (0x9e3779b97f4a7c15ULL * (id.index() + 2));
     endpoints_[id.index()] = std::make_unique<net::ReliableEndpoint>(
-        *net_, id, *process, transport_cfg_, ep_seed);
+        *net_, id, *process, transport_cfg_, ep_seed, tracer_);
     process->set_transport(endpoints_[id.index()].get());
     net_->attach(id, endpoints_[id.index()].get());
   } else {

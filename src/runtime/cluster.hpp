@@ -8,9 +8,9 @@
 #include "net/delay_model.hpp"
 #include "net/network.hpp"
 #include "net/reliable_transport.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/process.hpp"
 #include "sim/simulator.hpp"
-#include "trace/trace.hpp"
 
 namespace dmx::runtime {
 
@@ -19,14 +19,14 @@ namespace dmx::runtime {
 class Cluster {
  public:
   Cluster(std::size_t n_nodes, std::unique_ptr<net::DelayModel> delay,
-          std::uint64_t seed, trace::Tracer tracer = {});
+          std::uint64_t seed, obs::Tracer tracer = {});
 
   /// Share an externally owned simulator (several clusters on one virtual
   /// clock, e.g. one network per lock resource in mutex::LockSpace).  The
   /// simulator must outlive the cluster.
   Cluster(sim::Simulator& shared_sim, std::size_t n_nodes,
           std::unique_ptr<net::DelayModel> delay, std::uint64_t seed,
-          trace::Tracer tracer = {});
+          obs::Tracer tracer = {});
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -34,7 +34,7 @@ class Cluster {
   [[nodiscard]] std::size_t size() const { return processes_.size(); }
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
   [[nodiscard]] net::Network& network() { return *net_; }
-  [[nodiscard]] const trace::Tracer& tracer() const { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
 
   /// Interpose a ReliableEndpoint between every process and the network.
   /// Must be called before the first install(); each installed process then
@@ -76,7 +76,7 @@ class Cluster {
   std::unique_ptr<sim::Simulator> owned_sim_;  ///< Null when shared.
   sim::Simulator* sim_;
   std::unique_ptr<net::Network> net_;
-  trace::Tracer tracer_;
+  obs::Tracer tracer_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<net::ReliableEndpoint>> endpoints_;
   net::ReliableTransportConfig transport_cfg_;

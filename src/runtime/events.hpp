@@ -1,0 +1,11 @@
+// Node-lifecycle event kinds (crash / restart, emitted by Process).
+#pragma once
+
+#include "obs/event.hpp"
+
+namespace dmx::runtime {
+
+DMX_REGISTER_EVENT(kEvNodeCrashed, "node.crashed", "lifecycle");
+DMX_REGISTER_EVENT(kEvNodeRestarted, "node.restarted", "lifecycle");
+
+}  // namespace dmx::runtime

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "runtime/cluster.hpp"
+#include "runtime/events.hpp"
 
 namespace dmx::runtime {
 
@@ -14,7 +15,7 @@ Process::~Process() {
 }
 
 void Process::bind(Cluster* cluster, net::Network* net, net::NodeId id,
-                   trace::Tracer tracer) {
+                   obs::Tracer tracer) {
   cluster_ = cluster;
   net_ = net;
   transport_ = net;  // Raw by default; Cluster may interpose a reliable layer.
@@ -38,7 +39,7 @@ void Process::crash() {
   crashed_ = true;
   cancel_all_timers();
   net_->faults().set_node_down(id_, true);
-  trace("lifecycle", "crashed");
+  emitf(kEvNodeCrashed, [] { return std::string("crashed"); });
   on_crash();
 }
 
@@ -46,7 +47,7 @@ void Process::restart() {
   if (!crashed_) return;
   crashed_ = false;
   net_->faults().set_node_down(id_, false);
-  trace("lifecycle", "restarted");
+  emitf(kEvNodeRestarted, [] { return std::string("restarted"); });
   on_restart();
 }
 
@@ -79,10 +80,6 @@ bool Process::timer_pending(TimerId timer) const {
 void Process::cancel_all_timers() {
   for (auto& [tid, ev] : timers_) simulator().cancel(ev);
   timers_.clear();
-}
-
-void Process::trace(std::string category, std::string detail) const {
-  tracer_.emit(now(), id_.value(), std::move(category), std::move(detail));
 }
 
 }  // namespace dmx::runtime

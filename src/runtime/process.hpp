@@ -14,8 +14,8 @@
 
 #include "net/network.hpp"
 #include "net/payload.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
-#include "trace/trace.hpp"
 
 namespace dmx::runtime {
 
@@ -88,19 +88,39 @@ class Process : public net::MessageHandler {
   /// Cancel every pending timer (also done automatically on crash).
   void cancel_all_timers();
 
-  void trace(std::string category, std::string detail) const;
+  /// Structured trace emission (obs/event.hpp).  Disabled tracing costs
+  /// exactly this one branch: no Event is built, nothing allocates.
+  void emit(obs::EventKind kind, std::uint64_t req = 0, std::int64_t arg = 0,
+            double value = 0.0) const {
+    if (!tracer_.enabled()) return;
+    tracer_.write(obs::Event{now(), kind, id_.value(), req, arg, value});
+  }
+
+  /// Emission with a lazy detail formatter — any callable returning
+  /// std::string.  The formatter is passed by reference and runs only if a
+  /// text-producing sink asks for it, so emitf sites pay nothing for the
+  /// human-readable string on the JSONL/Chrome/disabled paths.
+  template <typename F>
+  void emitf(obs::EventKind kind, const F& fmt, std::uint64_t req = 0,
+             std::int64_t arg = 0, double value = 0.0) const {
+    if (!tracer_.enabled()) return;
+    tracer_.write(obs::Event{now(), kind, id_.value(), req, arg, value},
+                  obs::DetailRef(fmt));
+  }
+
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
 
  private:
   friend class Cluster;
   void bind(Cluster* cluster, net::Network* net, net::NodeId id,
-            trace::Tracer tracer);
+            obs::Tracer tracer);
   void set_transport(net::Transport* t) { transport_ = t; }
 
   Cluster* cluster_ = nullptr;
   net::Network* net_ = nullptr;
   net::Transport* transport_ = nullptr;
   net::NodeId id_;
-  trace::Tracer tracer_;
+  obs::Tracer tracer_;
   bool crashed_ = false;
   std::uint64_t next_timer_id_ = 1;
   std::unordered_map<std::uint64_t, sim::EventId> timers_;

@@ -78,7 +78,8 @@ TEST(Harness, ResultAccountingConsistent) {
   for (auto c : r.completions_per_node) per_node += c;
   EXPECT_EQ(per_node, r.completed);
   std::uint64_t by_type = 0;
-  for (const auto& [k, v] : r.messages_by_type) by_type += v;
+  const stats::CounterMap type_counts = r.messages_by_type();
+  for (const auto& [k, v] : type_counts.entries()) by_type += v;
   EXPECT_EQ(by_type, r.messages_total);
   EXPECT_EQ(r.response_time.count(), r.completed);
   EXPECT_GE(r.service_time.mean(), r.response_time.mean());

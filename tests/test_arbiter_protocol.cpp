@@ -3,6 +3,8 @@
 // paper's Section 2.2 walk-through.
 #include <gtest/gtest.h>
 
+#include "core/events.hpp"
+#include "obs/lifecycle.hpp"
 #include "testbed.hpp"
 
 namespace dmx::core {
@@ -240,8 +242,11 @@ TEST(ArbiterProtocol, TraceRecordsProtocolEvents) {
   MutexCluster tb("arbiter-tp", 5, unit_params(), 1.0, 1.0);
   tb.submit_at(0.0, 2);
   tb.sim().run();
-  EXPECT_GE(tb.sink->by_category("dispatch").size(), 1u);
-  EXPECT_GE(tb.sink->by_category("cs").size(), 1u);
+  // Typed queries for the kinds the walk-through must hit; the category
+  // compat query covers everything registered under "arbiter".
+  EXPECT_GE(tb.sink->count_kind(core::kEvDispatch), 1u);
+  EXPECT_GE(tb.sink->count_kind(core::kEvCsEnter), 1u);
+  EXPECT_GE(tb.sink->count_kind(obs::kEvCsGranted), 1u);
   EXPECT_GE(tb.sink->by_category("arbiter").size(), 1u);
 }
 

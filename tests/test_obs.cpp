@@ -1,0 +1,240 @@
+// End-to-end tests for the observability layer: golden JSONL traces across
+// transports, span reconstruction, the Chrome-trace envelope, the run
+// manifest schema, and config validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/manifest.hpp"
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
+
+namespace dmx {
+namespace {
+
+harness::ExperimentConfig small_config() {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = "arbiter-tp";
+  cfg.n_nodes = 5;
+  cfg.lambda = 0.5;
+  cfg.t_msg = 0.1;
+  cfg.t_exec = 0.1;
+  cfg.total_requests = 60;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Drop transport-plane records: the reliability layer's own events, which
+/// by design are the only difference between a raw and a reliable trace of
+/// the same run.
+std::vector<std::string> without_transport(const std::vector<std::string>& in) {
+  std::vector<std::string> out;
+  for (const auto& l : in) {
+    if (l.find("\"cat\":\"transport\"") == std::string::npos) out.push_back(l);
+  }
+  return out;
+}
+
+TEST(GoldenTrace, JsonlIdenticalAcrossTransportsModuloTransportEvents) {
+  harness::register_builtin_algorithms();
+  std::string traces[2];
+  const harness::TransportKind kinds[2] = {harness::TransportKind::kRaw,
+                                           harness::TransportKind::kReliable};
+  for (int i = 0; i < 2; ++i) {
+    std::ostringstream os;
+    {
+      harness::ExperimentConfig cfg = small_config();
+      cfg.transport = kinds[i];
+      if (kinds[i] == harness::TransportKind::kReliable) {
+        // Losing only acks exercises the transport plane (retransmits,
+        // dup-drops) without perturbing the protocol timeline: the data
+        // frame still arrives on its first transmission.
+        cfg.loss_by_type["RT-ACK"] = 0.2;
+      }
+      cfg.trace_sink = std::make_shared<obs::JsonlSink>(os);
+      cfg.collect_spans = true;
+      const auto r = harness::run_experiment(cfg);
+      EXPECT_TRUE(r.drained);
+      EXPECT_EQ(r.safety_violations, 0u);
+      if (kinds[i] == harness::TransportKind::kReliable) {
+        EXPECT_GT(r.transport.retransmits, 0u);
+      }
+    }
+    traces[i] = os.str();
+  }
+  const auto raw = without_transport(split_lines(traces[0]));
+  const auto reliable = without_transport(split_lines(traces[1]));
+  ASSERT_FALSE(raw.empty());
+  ASSERT_EQ(raw.size(), reliable.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(raw[i], reliable[i]) << "first divergence at line " << i;
+  }
+  // The reliable run does have a transport plane; the filter removed it.
+  EXPECT_GT(split_lines(traces[1]).size(), reliable.size());
+}
+
+TEST(SpanReconstruction, EveryCompletedRequestYieldsOneCompleteSpan) {
+  harness::register_builtin_algorithms();
+  auto mem = std::make_shared<obs::MemorySink>();
+  harness::ExperimentConfig cfg = small_config();
+  cfg.trace_sink = mem;
+  cfg.collect_spans = true;
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.spans != nullptr);
+  EXPECT_EQ(r.spans->completed, r.completed);
+  EXPECT_EQ(r.spans->aborted, 0u);
+  EXPECT_EQ(r.spans->open, 0u);
+  ASSERT_EQ(mem->spans().size(), r.completed);
+  for (const obs::Span& s : mem->spans()) {
+    EXPECT_TRUE(s.complete);
+    EXPECT_FALSE(s.aborted);
+    EXPECT_GE(s.node, 0);
+    EXPECT_GT(s.request_id, 0u);
+    EXPECT_GE(s.queue_wait(), 0.0);
+    EXPECT_GE(s.transit(), 0.0);
+    EXPECT_GE(s.token_wait(), 0.0);
+    EXPECT_GE(s.acquire(), 0.0);
+    EXPECT_GT(s.cs_time(), 0.0);
+    // acquire decomposes into transit + token_wait.
+    EXPECT_NEAR(s.acquire(), s.transit() + s.token_wait(), 1e-9);
+  }
+  // Phase moments aggregate exactly the completed spans.
+  EXPECT_EQ(r.spans->cs.moments.count(), r.completed);
+  EXPECT_NEAR(r.spans->cs.moments.mean(), cfg.t_exec, 1e-9);
+}
+
+TEST(SpanReconstruction, CrashMarksOpenRequestAborted) {
+  harness::register_builtin_algorithms();
+  harness::ExperimentConfig cfg = small_config();
+  cfg.params.set("recovery", 1.0);
+  cfg.fault_plan = "t=0.35 crash 0; t=20 restart 0";
+  cfg.collect_spans = true;
+  cfg.total_requests = 40;
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.spans != nullptr);
+  EXPECT_EQ(r.spans->aborted, r.aborted_by_crash);
+  EXPECT_EQ(r.spans->completed, r.completed);
+}
+
+TEST(ChromeTrace, EnvelopeClosesAndCarriesSlices) {
+  harness::register_builtin_algorithms();
+  std::ostringstream os;
+  {
+    harness::ExperimentConfig cfg = small_config();
+    cfg.total_requests = 20;
+    cfg.trace_sink = std::make_shared<obs::ChromeTraceSink>(os);
+    cfg.collect_spans = true;
+    (void)harness::run_experiment(cfg);
+    // The envelope's closing bracket is written by the sink destructor,
+    // which runs when cfg goes out of scope here.
+  }
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // instants
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);  // span slices
+  EXPECT_NE(out.find("\"name\":\"cs\""), std::string::npos);
+  EXPECT_EQ(out.substr(out.size() - 4), "\n]}\n");
+}
+
+TEST(RunManifest, SchemaAndSpanBlockPresent) {
+  harness::register_builtin_algorithms();
+  harness::ExperimentConfig cfg = small_config();
+  cfg.collect_spans = true;
+  harness::RunRecord rec{cfg, harness::run_experiment(cfg)};
+  std::ostringstream os;
+  harness::write_run_manifest(os, {rec});
+  const std::string m = os.str();
+  EXPECT_NE(m.find("\"schema\":\"dmx.run.v1\""), std::string::npos);
+  EXPECT_NE(m.find("\"runs\":["), std::string::npos);
+  EXPECT_NE(m.find("\"algorithm\":\"arbiter-tp\""), std::string::npos);
+  EXPECT_NE(m.find("\"messages_by_type\""), std::string::npos);
+  EXPECT_NE(m.find("\"REQUEST\""), std::string::npos);
+  EXPECT_NE(m.find("\"spans\""), std::string::npos);
+  EXPECT_NE(m.find("\"token_wait\""), std::string::npos);
+  EXPECT_NE(m.find("\"transport\""), std::string::npos);
+  // Balanced JSON at the top level: crude but catches envelope bugs.
+  EXPECT_EQ(std::count(m.begin(), m.end(), '{'),
+            std::count(m.begin(), m.end(), '}'));
+}
+
+TEST(ConfigValidation, ReportsEveryProblemAtOnce) {
+  harness::register_builtin_algorithms();
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = "no-such-algo";
+  cfg.n_nodes = 0;
+  cfg.lambda = -1.0;
+  cfg.total_requests = 0;
+  cfg.loss_by_type["REQUEST"] = 1.5;
+  const auto errors = cfg.validate();
+  EXPECT_GE(errors.size(), 5u);
+  bool mentions_algo = false;
+  for (const auto& e : errors) {
+    if (e.find("no-such-algo") != std::string::npos) mentions_algo = true;
+  }
+  EXPECT_TRUE(mentions_algo);
+}
+
+TEST(ConfigValidation, ValidConfigPasses) {
+  harness::register_builtin_algorithms();
+  EXPECT_TRUE(small_config().validate().empty());
+}
+
+TEST(ConfigValidation, RunExperimentThrowsOnInvalidConfig) {
+  harness::register_builtin_algorithms();
+  harness::ExperimentConfig cfg = small_config();
+  cfg.lambda = 0.0;
+  EXPECT_THROW((void)harness::run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(ConfigBuilder, BuildsValidatedConfig) {
+  harness::register_builtin_algorithms();
+  const harness::ExperimentConfig cfg =
+      harness::ExperimentConfigBuilder{}
+          .algorithm("suzuki-kasami")
+          .nodes(7)
+          .lambda(0.25)
+          .t_msg(0.2)
+          .t_exec(0.05)
+          .total_requests(500)
+          .seed(9)
+          .param("t_req", 1.0)
+          .transport(harness::TransportKind::kReliable)
+          .collect_spans()
+          .build();
+  EXPECT_EQ(cfg.algorithm, "suzuki-kasami");
+  EXPECT_EQ(cfg.n_nodes, 7u);
+  EXPECT_TRUE(cfg.collect_spans);
+  EXPECT_EQ(cfg.transport, harness::TransportKind::kReliable);
+}
+
+TEST(ConfigBuilder, ThrowsListingEveryError) {
+  harness::register_builtin_algorithms();
+  try {
+    (void)harness::ExperimentConfigBuilder{}
+        .algorithm("bogus")
+        .lambda(-2.0)
+        .build();
+    FAIL() << "build() should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+    EXPECT_NE(msg.find("lambda"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dmx

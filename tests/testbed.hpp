@@ -14,13 +14,14 @@
 #include "mutex/registry.hpp"
 #include "mutex/safety_monitor.hpp"
 #include "net/delay_model.hpp"
+#include "obs/sinks.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/cluster.hpp"
-#include "trace/trace.hpp"
 
 namespace dmx::testbed {
 
 struct MutexCluster {
-  std::shared_ptr<trace::MemorySink> sink;
+  std::shared_ptr<obs::MemorySink> sink;
   std::unique_ptr<runtime::Cluster> cluster;
   mutex::SafetyMonitor monitor;
   mutex::RequestIdSource ids;
@@ -35,11 +36,11 @@ struct MutexCluster {
                double t_exec = 0.1, std::uint64_t seed = 1,
                std::optional<net::ReliableTransportConfig> reliable =
                    std::nullopt)
-      : sink(std::make_shared<trace::MemorySink>()) {
+      : sink(std::make_shared<obs::MemorySink>()) {
     harness::register_builtin_algorithms();
     cluster = std::make_unique<runtime::Cluster>(
         n, std::make_unique<net::ConstantDelay>(sim::SimTime::units(t_msg)),
-        seed, trace::Tracer(sink));
+        seed, obs::Tracer(sink));
     if (reliable) cluster->use_reliable_transport(*reliable);
     for (std::size_t i = 0; i < n; ++i) {
       const net::NodeId nid{static_cast<std::int32_t>(i)};
@@ -50,6 +51,7 @@ struct MutexCluster {
       drivers.push_back(std::make_unique<mutex::CsDriver>(
           cluster->simulator(), *algos.back(), sim::SimTime::units(t_exec),
           &monitor, &ids));
+      drivers.back()->set_tracer(obs::Tracer(sink));
     }
     cluster->start();
   }

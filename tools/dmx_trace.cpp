@@ -10,6 +10,7 @@
 //       --drop PRIVILEGE --submit 1:0 --submit 2:0.1
 //   # crash the token holder
 //   dmx_trace --n 5 --param recovery=1 --submit 1:0 --crash 1:0.45
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -19,8 +20,10 @@
 #include "mutex/registry.hpp"
 #include "mutex/safety_monitor.hpp"
 #include "net/delay_model.hpp"
+#include "obs/sinks.hpp"
+#include "obs/span.hpp"
+#include "obs/tracer.hpp"
 #include "runtime/cluster.hpp"
-#include "trace/trace.hpp"
 
 namespace {
 
@@ -44,6 +47,9 @@ usage: dmx_trace [flags]
   --restart NODE:TIME   restart NODE at TIME (repeatable)
   --drop TYPE           drop the next message of TYPE (repeatable)
   --until T             stop the clock at T            [200]
+  --trace-out FILE      also write a machine-readable trace (with
+                        request-lifecycle spans) to FILE
+  --trace-format FMT    jsonl | chrome | text          [jsonl]
 )";
   std::exit(2);
 }
@@ -69,6 +75,8 @@ int main(int argc, char** argv) {
   mutex::ParamSet params;
   std::vector<Action> actions;
   std::vector<std::string> drops;
+  std::string trace_out;
+  std::string trace_format = "jsonl";
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -107,6 +115,14 @@ int main(int argc, char** argv) {
       drops.push_back(value("--drop"));
     } else if (a == "--until") {
       until = std::stod(value("--until"));
+    } else if (a == "--trace-out") {
+      trace_out = value("--trace-out");
+    } else if (a == "--trace-format") {
+      trace_format = value("--trace-format");
+      if (trace_format != "jsonl" && trace_format != "chrome" &&
+          trace_format != "text") {
+        usage_error("--trace-format expects jsonl, chrome or text");
+      }
     } else if (a == "--help" || a == "-h") {
       usage_error("help");
     } else {
@@ -120,7 +136,26 @@ int main(int argc, char** argv) {
     usage_error("unknown algorithm " + algo + " (see dmx_sweep --list)");
   }
 
-  trace::Tracer tracer(std::make_shared<trace::OstreamSink>(std::cout));
+  // The console view: an unbuffered text sink, so the event log interleaves
+  // correctly with the network tap below (which writes std::cout directly).
+  // `trace_file` is declared before the sinks so the Chrome sink's destructor
+  // can still close its JSON envelope while the stream is alive.
+  std::ofstream trace_file;
+  auto console = std::make_shared<obs::TextSink>(std::cout, 0);
+  std::shared_ptr<obs::SpanCollector> file_chain;
+  std::shared_ptr<obs::Sink> cluster_sink = console;
+  if (!trace_out.empty()) {
+    trace_file.open(trace_out);
+    if (!trace_file) usage_error("cannot open --trace-out file " + trace_out);
+    obs::TraceFormat fmt = obs::TraceFormat::kJsonl;
+    if (trace_format == "chrome") fmt = obs::TraceFormat::kChrome;
+    if (trace_format == "text") fmt = obs::TraceFormat::kText;
+    file_chain = std::make_shared<obs::SpanCollector>(
+        obs::make_format_sink(fmt, trace_file));
+    cluster_sink = std::make_shared<obs::TeeSink>(
+        std::vector<std::shared_ptr<obs::Sink>>{console, file_chain});
+  }
+  obs::Tracer tracer(cluster_sink);
   runtime::Cluster cluster(
       n, std::make_unique<net::ConstantDelay>(sim::SimTime::units(t_msg)), 7,
       tracer);
@@ -145,6 +180,7 @@ int main(int argc, char** argv) {
     drivers.push_back(std::make_unique<mutex::CsDriver>(
         cluster.simulator(), *raw, sim::SimTime::units(t_exec), &monitor,
         &ids));
+    drivers.back()->set_tracer(tracer);
   }
   cluster.start();
 
