@@ -6,6 +6,9 @@
 // replicated seeds.  Environment knobs:
 //   DMX_BENCH_REQUESTS      requests per point   (default 100000)
 //   DMX_BENCH_REPLICATIONS  seeds per point      (default 3)
+//   DMX_BENCH_JOBS          worker threads per point (default 1 = serial,
+//                           0 = one per hardware thread); results are
+//                           byte-identical for every value
 #pragma once
 
 #include <cstdint>
@@ -34,6 +37,14 @@ inline std::size_t replications() {
     return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
   }
   return 3;
+}
+
+/// Seed-replication fan-out width (harness::ParallelRunner workers).
+inline std::size_t bench_jobs() {
+  if (const char* env = std::getenv("DMX_BENCH_JOBS")) {
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 1;
 }
 
 /// The paper's lambda sweep (requests/second/node, N = 10): light load
@@ -76,6 +87,7 @@ inline PointSummary summarize(const std::vector<harness::ExperimentResult>& runs
 
 inline PointSummary run_point(harness::ExperimentConfig cfg) {
   cfg.total_requests = requests_per_point();
+  cfg.jobs = bench_jobs();
   return summarize(harness::run_replicated(cfg, replications()));
 }
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "harness/manifest.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 #include "mutex/registry.hpp"
 #include "obs/sinks.hpp"
@@ -94,6 +95,10 @@ usage: dmx_sweep [flags]
                          and exactly-once in-order delivery under loss
   --stall X              liveness stall threshold in sim units
                          (< 0 off; default: auto when --fault is given)
+  --jobs J               run the seed×point job list on J worker threads
+                         (default 1 = serial, 0 = one per hardware thread);
+                         table, manifest and trace output is byte-identical
+                         for every J
   --trace-out FILE       write a structured event trace of the sweep's
                          first run (first lambda, first seed)
   --trace-format FMT     jsonl | chrome | text         [jsonl]
@@ -179,6 +184,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       }
     } else if (a == "--stall") {
       o.stall_threshold = parse_double(a, need_value(i++, a));
+    } else if (a == "--jobs") {
+      o.jobs = static_cast<std::size_t>(parse_u64(a, need_value(i++, a)));
     } else if (a == "--trace-out") {
       o.trace_out = need_value(i++, a);
     } else if (a == "--trace-format") {
@@ -244,6 +251,11 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
   bool first_run = true;
   std::vector<std::string> stall_reports;
   std::vector<RunRecord> records;
+  // Flatten the sweep into the indexed seed×point job list.  The first job
+  // (first lambda, first seed) carries the trace sink; seeds follow the one
+  // seed_schedule shared with run_replicated.
+  std::vector<ExperimentConfig> jobs;
+  jobs.reserve(opts.lambdas.size() * opts.seeds);
   for (double lambda : opts.lambdas) {
     ExperimentConfig cfg;
     cfg.algorithm = opts.algorithm;
@@ -271,24 +283,34 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
         return 2;
       }
     }
-    // Inline replication (run_replicated's seed schedule) so the first run
-    // can carry the trace sink and every run can collect spans for the
-    // manifest.
-    std::vector<ExperimentResult> runs;
-    runs.reserve(opts.seeds);
-    const std::uint64_t base_seed = cfg.seed;
     for (std::size_t s = 0; s < opts.seeds; ++s) {
       ExperimentConfig run_cfg = cfg;
-      run_cfg.seed = base_seed + 1000 * s + 17;
+      run_cfg.seed = seed_schedule(cfg, s);
       run_cfg.collect_spans =
           !opts.emit_json.empty() || (first_run && trace_sink != nullptr);
       if (first_run && trace_sink) run_cfg.trace_sink = trace_sink;
       first_run = false;
-      runs.push_back(run_experiment(run_cfg));
-      if (!opts.emit_json.empty()) {
-        records.push_back(RunRecord{std::move(run_cfg), runs.back()});
-      }
+      jobs.push_back(std::move(run_cfg));
     }
+  }
+  // Each job is a fully independent simulation; the runner returns results
+  // in job-index order, so everything below — table rows, stall reports,
+  // manifest records, the exit code — is byte-identical for any --jobs.
+  const std::vector<ExperimentResult> results =
+      ParallelRunner(opts.jobs).run(jobs);
+  if (!opts.emit_json.empty()) {
+    records.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      records.push_back(RunRecord{jobs[i], results[i]});
+    }
+  }
+  std::size_t next_job = 0;
+  for (double lambda : opts.lambdas) {
+    const auto runs_begin = results.begin() +
+                            static_cast<std::ptrdiff_t>(next_job);
+    const std::vector<ExperimentResult> runs(
+        runs_begin, runs_begin + static_cast<std::ptrdiff_t>(opts.seeds));
+    next_job += opts.seeds;
     stats::Welford msgs, resp, svc, soj, fwd, ttr, unavail;
     bool drained = true;
     bool stalled = false;

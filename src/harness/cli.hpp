@@ -16,6 +16,9 @@
 //                           interposes the ack/retransmit layer per node
 //   --stall X               liveness stall threshold (sim units); X < 0
 //                           disables the monitor, omit for auto
+//   --jobs J                parallel sweep workers (default 1 = serial,
+//                           0 = one per hardware thread); output is
+//                           byte-identical for every J
 //   --trace-out FILE        structured event trace of the first run
 //   --trace-format FMT      jsonl | chrome | text   (default jsonl)
 //   --emit-json FILE        machine-readable run manifest (dmx.run.v1)
@@ -48,6 +51,10 @@ struct CliOptions {
   std::string fault_plan;
   TransportKind transport = TransportKind::kRaw;
   double stall_threshold = 0.0;  ///< See ExperimentConfig::stall_threshold.
+  /// Worker threads for the seed×point job list (harness::ParallelRunner).
+  /// 1 = serial, 0 = one per hardware thread.  Table, manifest and trace
+  /// output is byte-identical for every value.
+  std::size_t jobs = 1;
   /// Structured trace of the sweep's first run (first lambda, first seed);
   /// empty = no trace.  Format: "jsonl", "chrome" (Perfetto-loadable), or
   /// "text" (the human-readable dmx_trace format).

@@ -6,6 +6,7 @@
 
 #include "fault/campaign.hpp"
 #include "fault/fault_plan.hpp"
+#include "harness/parallel.hpp"
 #include "mutex/cs_driver.hpp"
 #include "mutex/progress_monitor.hpp"
 #include "mutex/registry.hpp"
@@ -349,14 +350,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
 std::vector<ExperimentResult> run_replicated(ExperimentConfig cfg,
                                              std::size_t replications) {
-  std::vector<ExperimentResult> out;
-  out.reserve(replications);
-  const std::uint64_t base_seed = cfg.seed;
+  const ExperimentConfig base = cfg;
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(replications);
   for (std::size_t i = 0; i < replications; ++i) {
-    cfg.seed = base_seed + 1000 * i + 17;
-    out.push_back(run_experiment(cfg));
+    cfg.seed = seed_schedule(base, i);
+    configs.push_back(cfg);
   }
-  return out;
+  return ParallelRunner(base.jobs).run(configs);
 }
 
 }  // namespace dmx::harness

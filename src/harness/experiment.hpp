@@ -79,6 +79,12 @@ struct ExperimentConfig {
   /// of trace_sink: spans can be collected without writing a trace, and a
   /// trace can be written without the collector in the chain.
   bool collect_spans = false;
+  /// Replication parallelism: worker threads used by run_replicated (and
+  /// any driver fanning this config out over seeds).  1 = serial, 0 = one
+  /// worker per hardware thread.  An execution knob, not a simulation
+  /// parameter: results, tables and manifests are byte-identical for every
+  /// value (harness/parallel.hpp), so the manifest does not record it.
+  std::size_t jobs = 1;
 
   /// Validate without running: returns one actionable message per problem
   /// (unknown algorithm name, non-positive rates, malformed fault plan,
@@ -166,6 +172,10 @@ class ExperimentConfigBuilder {
     cfg_.collect_spans = on;
     return *this;
   }
+  ExperimentConfigBuilder& jobs(std::size_t n) {
+    cfg_.jobs = n;
+    return *this;
+  }
 
   /// Throws std::invalid_argument joining every validation error.
   [[nodiscard]] ExperimentConfig build() const;
@@ -240,6 +250,9 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const ExperimentConfig& cfg);
 
 /// Run `replications` seeds and return per-seed results (CI material).
+/// Seeds follow harness::seed_schedule (harness/parallel.hpp); cfg.jobs > 1
+/// fans the replications out over a thread pool with byte-identical
+/// results in the same replication order.
 std::vector<ExperimentResult> run_replicated(ExperimentConfig cfg,
                                              std::size_t replications);
 

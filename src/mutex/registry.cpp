@@ -1,6 +1,7 @@
 #include "mutex/registry.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace dmx::mutex {
 
@@ -11,19 +12,34 @@ Registry& Registry::instance() {
 
 void Registry::add(const std::string& name, AlgorithmFactory factory) {
   if (!factory) throw std::invalid_argument("Registry::add: null factory");
+  std::lock_guard<std::mutex> lock(mu_);
   factories_[name] = std::move(factory);  // re-registration overwrites
+}
+
+bool Registry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.contains(name);
 }
 
 std::unique_ptr<MutexAlgorithm> Registry::create(
     const std::string& name, const FactoryContext& ctx) const {
-  auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    throw std::invalid_argument("unknown mutual exclusion algorithm: " + name);
+  // Copy the factory out under the lock, invoke it outside: a factory is
+  // free to touch the registry (or take its time) without holding mu_.
+  AlgorithmFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      throw std::invalid_argument("unknown mutual exclusion algorithm: " +
+                                  name);
+    }
+    factory = it->second;
   }
-  return it->second(ctx);
+  return factory(ctx);
 }
 
 std::vector<std::string> Registry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [k, v] : factories_) out.push_back(k);

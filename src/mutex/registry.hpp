@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,14 +28,15 @@ struct FactoryContext {
 using AlgorithmFactory =
     std::function<std::unique_ptr<MutexAlgorithm>(const FactoryContext&)>;
 
+/// Thread-safe: parallel sweep workers (harness::ParallelRunner) hit
+/// contains/create concurrently, so every accessor locks.  All of these are
+/// cold paths — once per run, never per event.
 class Registry {
  public:
   static Registry& instance();
 
   void add(const std::string& name, AlgorithmFactory factory);
-  [[nodiscard]] bool contains(const std::string& name) const {
-    return factories_.contains(name);
-  }
+  [[nodiscard]] bool contains(const std::string& name) const;
 
   [[nodiscard]] std::unique_ptr<MutexAlgorithm> create(
       const std::string& name, const FactoryContext& ctx) const;
@@ -42,6 +44,7 @@ class Registry {
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, AlgorithmFactory> factories_;
 };
 

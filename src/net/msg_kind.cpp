@@ -13,6 +13,17 @@ MsgKind MsgKindRegistry::intern(std::string_view name) {
   if (name.empty()) {
     throw std::invalid_argument("MsgKindRegistry: empty message name");
   }
+  if (frozen()) {
+    // Sealed: known names resolve without the lock (the table is immutable
+    // and was release-published by freeze()); new names are a registration
+    // that arrived too late — fail fast instead of racing.
+    if (auto it = by_name_.find(name); it != by_name_.end()) {
+      return MsgKind(it->second);
+    }
+    throw std::logic_error(
+        "MsgKindRegistry: frozen; cannot intern new message name \"" +
+        std::string(name) + "\"");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = by_name_.find(name); it != by_name_.end()) {
     return MsgKind(it->second);
@@ -27,7 +38,13 @@ MsgKind MsgKindRegistry::intern(std::string_view name) {
 }
 
 MsgKind MsgKindRegistry::find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (!frozen()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = by_name_.find(name); it != by_name_.end()) {
+      return MsgKind(it->second);
+    }
+    return MsgKind{};
+  }
   if (auto it = by_name_.find(name); it != by_name_.end()) {
     return MsgKind(it->second);
   }
@@ -35,19 +52,32 @@ MsgKind MsgKindRegistry::find(std::string_view name) const {
 }
 
 std::string_view MsgKindRegistry::name(MsgKind kind) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (!frozen()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!kind.valid() || kind.index() >= names_.size()) return "<invalid>";
+    return names_[kind.index()];
+  }
   if (!kind.valid() || kind.index() >= names_.size()) return "<invalid>";
   return names_[kind.index()];
 }
 
 std::size_t MsgKindRegistry::size() const {
+  if (frozen()) return names_.size();
   std::lock_guard<std::mutex> lock(mu_);
   return names_.size();
 }
 
 std::vector<std::string> MsgKindRegistry::names() const {
+  if (frozen()) return {names_.begin(), names_.end()};
   std::lock_guard<std::mutex> lock(mu_);
   return {names_.begin(), names_.end()};
+}
+
+void MsgKindRegistry::freeze() {
+  // The lock orders this against any in-flight intern; the release store
+  // publishes the completed table to lock-free readers.
+  std::lock_guard<std::mutex> lock(mu_);
+  frozen_.store(true, std::memory_order_release);
 }
 
 stats::CounterMap counts_by_name(const stats::KindCounter& c) {

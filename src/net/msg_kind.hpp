@@ -23,6 +23,7 @@
 // is ever constructed.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -68,12 +69,22 @@ class MsgKind {
 /// Process-wide name <-> kind table.  Interning is idempotent: the first
 /// registration of a name allocates the next dense index, later ones return
 /// it.  Lookups by kind are O(1); lookups by name are cold-path only.
+///
+/// The registry has a two-phase lifecycle.  During static initialization
+/// (and single-threaded setup) it is mutable under a mutex.  Once every
+/// linked payload type has registered, freeze() seals it: the table becomes
+/// immutable, every lookup (find / name / size / names, and intern of an
+/// already-known name) is lock-free, and intern of an *unknown* name throws
+/// instead of mutating.  Sealing is what makes concurrent simulations safe
+/// to run against the shared registry — after freeze there is no write left
+/// to race with.  freeze() is idempotent and cannot be undone.
 class MsgKindRegistry {
  public:
   static MsgKindRegistry& instance();
 
   /// Register `name` (or fetch its existing kind).  Throws on an empty name
-  /// or on exhausting the 16-bit kind space.
+  /// or on exhausting the 16-bit kind space.  On a frozen registry a known
+  /// name still resolves (lock-free); a new name throws std::logic_error.
   MsgKind intern(std::string_view name);
 
   /// Look up a name without registering it; invalid kind if unknown.
@@ -88,6 +99,15 @@ class MsgKindRegistry {
   /// Snapshot of all registered names, in kind-index order.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Seal the registry: no new kinds, lock-free lookups from any thread.
+  /// Call after static registration is complete (harness::freeze_registries
+  /// does this before spawning sweep workers).  Idempotent, irreversible.
+  void freeze();
+
+  [[nodiscard]] bool frozen() const {
+    return frozen_.load(std::memory_order_acquire);
+  }
+
   MsgKindRegistry(const MsgKindRegistry&) = delete;
   MsgKindRegistry& operator=(const MsgKindRegistry&) = delete;
 
@@ -97,6 +117,9 @@ class MsgKindRegistry {
   mutable std::mutex mu_;
   std::deque<std::string> names_;  ///< Deque: element storage never moves.
   std::map<std::string, std::uint16_t, std::less<>> by_name_;
+  /// Release-published by freeze(); an acquire load observing true
+  /// guarantees visibility of every prior table write, so readers skip mu_.
+  std::atomic<bool> frozen_{false};
 };
 
 /// THE translation point from dense kind-indexed counters to name-keyed

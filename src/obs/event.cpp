@@ -14,6 +14,16 @@ EventKind EventKindRegistry::intern(std::string_view name,
   if (name.empty()) {
     throw std::invalid_argument("EventKindRegistry: empty event name");
   }
+  if (frozen()) {
+    // Sealed: known names resolve lock-free on the immutable table; a new
+    // name is a registration that arrived too late — fail fast.
+    if (auto it = by_name_.find(name); it != by_name_.end()) {
+      return EventKind(it->second);
+    }
+    throw std::logic_error(
+        "EventKindRegistry: frozen; cannot intern new event name \"" +
+        std::string(name) + "\"");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = by_name_.find(name); it != by_name_.end()) {
     return EventKind(it->second);
@@ -28,7 +38,13 @@ EventKind EventKindRegistry::intern(std::string_view name,
 }
 
 EventKind EventKindRegistry::find(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (!frozen()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto it = by_name_.find(name); it != by_name_.end()) {
+      return EventKind(it->second);
+    }
+    return EventKind{};
+  }
   if (auto it = by_name_.find(name); it != by_name_.end()) {
     return EventKind(it->second);
   }
@@ -36,28 +52,48 @@ EventKind EventKindRegistry::find(std::string_view name) const {
 }
 
 std::string_view EventKindRegistry::name(EventKind kind) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (!frozen()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!kind.valid() || kind.index() >= entries_.size()) return "<invalid>";
+    return entries_[kind.index()].name;
+  }
   if (!kind.valid() || kind.index() >= entries_.size()) return "<invalid>";
   return entries_[kind.index()].name;
 }
 
 std::string_view EventKindRegistry::category(EventKind kind) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  if (!frozen()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!kind.valid() || kind.index() >= entries_.size()) return "";
+    return entries_[kind.index()].category;
+  }
   if (!kind.valid() || kind.index() >= entries_.size()) return "";
   return entries_[kind.index()].category;
 }
 
 std::size_t EventKindRegistry::size() const {
+  if (frozen()) return entries_.size();
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
 }
 
 std::vector<std::string> EventKindRegistry::names() const {
+  auto snapshot = [this] {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) out.push_back(e.name);
+    return out;
+  };
+  if (frozen()) return snapshot();
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& e : entries_) out.push_back(e.name);
-  return out;
+  return snapshot();
+}
+
+void EventKindRegistry::freeze() {
+  // The lock orders this against any in-flight intern; the release store
+  // publishes the completed table to lock-free readers.
+  std::lock_guard<std::mutex> lock(mu_);
+  frozen_.store(true, std::memory_order_release);
 }
 
 }  // namespace dmx::obs

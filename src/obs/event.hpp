@@ -22,6 +22,7 @@
 // category translation happens only at the registry boundary.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -65,12 +66,19 @@ class EventKind {
 /// Process-wide name <-> kind table.  Interning is idempotent: the first
 /// registration of a name allocates the next dense index and pins the
 /// category; later registrations of the same name return the same kind.
+///
+/// Like net::MsgKindRegistry, the registry can be sealed with freeze():
+/// lookups (and intern of an already-known name) become lock-free on the
+/// immutable table, and intern of a new name throws.  Concurrent
+/// simulations share the frozen table without synchronization.
 class EventKindRegistry {
  public:
   static EventKindRegistry& instance();
 
   /// Register `name` under `category` (or fetch the existing kind).  Throws
-  /// on an empty name or on exhausting the 16-bit kind space.
+  /// on an empty name or on exhausting the 16-bit kind space.  On a frozen
+  /// registry a known name still resolves; a new name throws
+  /// std::logic_error.
   EventKind intern(std::string_view name, std::string_view category);
 
   /// Look up a name without registering it; invalid kind if unknown.
@@ -88,6 +96,14 @@ class EventKindRegistry {
   /// Snapshot of all registered names, in kind-index order.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Seal the registry: no new kinds, lock-free lookups from any thread.
+  /// Idempotent, irreversible (see harness::freeze_registries).
+  void freeze();
+
+  [[nodiscard]] bool frozen() const {
+    return frozen_.load(std::memory_order_acquire);
+  }
+
   EventKindRegistry(const EventKindRegistry&) = delete;
   EventKindRegistry& operator=(const EventKindRegistry&) = delete;
 
@@ -102,6 +118,9 @@ class EventKindRegistry {
   mutable std::mutex mu_;
   std::deque<Entry> entries_;  ///< Deque: element storage never moves.
   std::map<std::string, std::uint16_t, std::less<>> by_name_;
+  /// Release-published by freeze(); an acquire load observing true
+  /// guarantees visibility of every prior table write, so readers skip mu_.
+  std::atomic<bool> frozen_{false};
 };
 
 /// One structured trace event: fixed numeric fields, no strings.  The

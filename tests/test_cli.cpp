@@ -55,6 +55,14 @@ TEST(Cli, ParsesTransportKind) {
   EXPECT_THROW(parse({"--transport"}), std::invalid_argument);
 }
 
+TEST(Cli, ParsesJobs) {
+  EXPECT_EQ(parse({}).jobs, 1u);  // serial by default
+  EXPECT_EQ(parse({"--jobs", "8"}).jobs, 8u);
+  EXPECT_EQ(parse({"--jobs", "0"}).jobs, 0u);  // 0 = hardware concurrency
+  EXPECT_THROW(parse({"--jobs"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--jobs", "two"}), std::invalid_argument);
+}
+
 TEST(Cli, HelpAndList) {
   EXPECT_TRUE(parse({"--help"}).help);
   EXPECT_TRUE(parse({"-h"}).help);

@@ -9,6 +9,7 @@
 
 #include "analysis/models.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 
 namespace dmx {
 namespace {
@@ -79,6 +80,65 @@ INSTANTIATE_TEST_SUITE_P(
       name += "_s" + std::to_string(std::get<2>(pinfo.param));
       return name;
     });
+
+// Seed-schedule invariant: replication i of a config yields the same
+// ExperimentResult whether it is run alone (one run_experiment at the
+// scheduled seed), in a serial batch, or on any parallel worker.  This is
+// the guard against shared-Rng leakage: if any stochastic state bled
+// between replications (a shared engine, a sink buffer, a stats
+// singleton), the batch results would diverge from the standalone runs.
+class SeedScheduleInvariant : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SeedScheduleInvariant, ReplicationIndependentOfBatchAndWorker) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = GetParam();
+  cfg.n_nodes = 5;
+  cfg.lambda = 0.4;
+  cfg.total_requests = 800;
+  cfg.seed = 11;
+
+  constexpr std::size_t kReps = 4;
+  cfg.jobs = 1;
+  const auto serial = harness::run_replicated(cfg, kReps);
+  cfg.jobs = 4;
+  const auto parallel = harness::run_replicated(cfg, kReps);
+  ASSERT_EQ(serial.size(), kReps);
+  ASSERT_EQ(parallel.size(), kReps);
+
+  for (std::size_t i = 0; i < kReps; ++i) {
+    harness::ExperimentConfig rep = cfg;
+    rep.seed = harness::seed_schedule(cfg, i);
+    const auto alone = harness::run_experiment(rep);
+    for (const auto* got : {&serial[i], &parallel[i]}) {
+      EXPECT_EQ(got->completed, alone.completed) << "rep " << i;
+      EXPECT_EQ(got->submitted, alone.submitted) << "rep " << i;
+      EXPECT_EQ(got->messages_total, alone.messages_total) << "rep " << i;
+      EXPECT_EQ(got->bytes_total, alone.bytes_total) << "rep " << i;
+      EXPECT_EQ(got->sim_events, alone.sim_events) << "rep " << i;
+      EXPECT_EQ(got->response_time.count(), alone.response_time.count());
+      EXPECT_DOUBLE_EQ(got->response_time.mean(), alone.response_time.mean());
+      EXPECT_DOUBLE_EQ(got->service_time.mean(), alone.service_time.mean());
+      EXPECT_DOUBLE_EQ(got->sojourn_time.mean(), alone.sojourn_time.mean());
+      EXPECT_DOUBLE_EQ(got->service_p99, alone.service_p99);
+      EXPECT_DOUBLE_EQ(got->sim_duration_units, alone.sim_duration_units);
+      for (std::size_t k = 0; k < alone.messages_by_kind.size(); ++k) {
+        EXPECT_EQ(got->messages_by_kind.get(k), alone.messages_by_kind.get(k))
+            << "rep " << i << " kind " << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, SeedScheduleInvariant,
+                         ::testing::Values("arbiter-tp", "suzuki-kasami",
+                                           "maekawa"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name = i.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 // Cluster-size sweep for the paper's own algorithm: safety/liveness from a
 // trivial 1-node system through N=25, and the analytic limits at the
