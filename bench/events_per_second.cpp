@@ -1,0 +1,131 @@
+// Message-plane throughput kernel: simulator events per wall-clock second.
+//
+// Where micro_kernel isolates single components, this bench drives the whole
+// stack — workload generator, arbiter protocol, network, optional reliable
+// transport — at cluster sizes from the paper's N=10 to the 100k-node
+// scaling milestone, and reports how many simulator events the engine
+// retires per second of real time.  These numbers gate allocation-path
+// regressions via BENCH_6.json.
+//
+// Output: one JSON object per line on stdout (jq-friendly), human summary on
+// stderr.  Usage:
+//   events_per_second [--quick] [N ...]
+// With no N arguments the full ladder {10, 1000, 10000, 100000} runs; raw
+// transport at every N, reliable transport up to N=10000 (per-peer windows
+// at the broadcasting arbiter make reliable 100k a different experiment, not
+// a throughput kernel).  --quick shrinks the ladder and request counts for
+// CI smoke jobs.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "net/pool.hpp"
+
+namespace {
+
+struct Point {
+  std::size_t n;
+  dmx::harness::TransportKind transport;
+  std::uint64_t requests;
+};
+
+const char* transport_name(dmx::harness::TransportKind k) {
+  return k == dmx::harness::TransportKind::kReliable ? "reliable" : "raw";
+}
+
+std::uint64_t requests_for(std::size_t n, bool quick) {
+  if (quick) return 300;
+  // Every arbiter term ends with a NEW-ARBITER broadcast to N-1 nodes, so
+  // total event volume grows ~N per CS entry; shrink the request budget as N
+  // grows to keep each point around 10^8 events.
+  if (n >= 100'000) return 500;
+  if (n >= 10'000) return 2'000;
+  return 20'000;
+}
+
+int run_point(const Point& pt) {
+  using Clock = std::chrono::steady_clock;
+  dmx::harness::ExperimentConfig cfg;
+  cfg.algorithm = "arbiter-tp";
+  cfg.n_nodes = pt.n;
+  // Total arrival rate ~20 CS/unit against a ~5/unit service capacity: the
+  // saturated regime where the token batches and message economy matters.
+  cfg.lambda = 20.0 / static_cast<double>(pt.n);
+  cfg.t_msg = 0.1;
+  cfg.t_exec = 0.1;
+  cfg.total_requests = pt.requests;
+  cfg.seed = 42;
+  cfg.transport = pt.transport;
+
+  const auto t0 = Clock::now();
+  const auto r = dmx::harness::run_experiment(cfg);
+  const auto t1 = Clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double eps =
+      wall_ms > 0.0 ? static_cast<double>(r.sim_events) / (wall_ms / 1e3)
+                    : 0.0;
+
+  std::cout << "{\"algo\":\"arbiter-tp\""
+            << ",\"transport\":\"" << transport_name(pt.transport) << "\""
+            << ",\"n\":" << pt.n << ",\"requests\":" << pt.requests
+            << ",\"completed\":" << r.completed
+            << ",\"sim_events\":" << r.sim_events
+            << ",\"messages_total\":" << r.messages_total
+            << ",\"wall_ms\":" << wall_ms
+            << ",\"events_per_sec\":" << eps
+            << ",\"msgs_per_cs\":" << r.messages_per_cs
+            << ",\"pool_enabled\":"
+            << (dmx::net::payload_pool_enabled() ? "true" : "false") << "}\n";
+  std::cerr << "n=" << pt.n << " " << transport_name(pt.transport)
+            << ": " << r.sim_events << " events in " << wall_ms / 1e3
+            << " s -> " << eps / 1e6 << " M events/s\n";
+
+  if (r.safety_violations != 0 || !r.drained) {
+    std::cerr << "UNSOUND RUN: safety_violations=" << r.safety_violations
+              << " drained=" << r.drained << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmx::harness::register_builtin_algorithms();
+
+  bool quick = false;
+  std::vector<std::size_t> sizes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      sizes.push_back(static_cast<std::size_t>(std::strtoull(
+          arg.c_str(), nullptr, 10)));
+    }
+  }
+  if (sizes.empty()) {
+    sizes = quick ? std::vector<std::size_t>{10, 100}
+                  : std::vector<std::size_t>{10, 1'000, 10'000, 100'000};
+  }
+
+  constexpr std::size_t kReliableMaxN = 10'000;
+  int rc = 0;
+  for (const std::size_t n : sizes) {
+    rc |= run_point({n, dmx::harness::TransportKind::kRaw,
+                     requests_for(n, quick)});
+    if (n <= kReliableMaxN) {
+      rc |= run_point({n, dmx::harness::TransportKind::kReliable,
+                       requests_for(n, quick)});
+    } else {
+      std::cerr << "n=" << n << " reliable: skipped (cap " << kReliableMaxN
+                << ")\n";
+    }
+  }
+  return rc;
+}

@@ -94,7 +94,7 @@ void SuzukiKasamiMutex::try_pass_token() {
   if (!have_token_ || in_cs_ || token_queue_.empty()) return;
   const net::NodeId next = token_queue_.front();
   token_queue_.pop_front();
-  auto tok = std::make_shared<SkTokenMsg>();
+  auto tok = net::make_payload_mut<SkTokenMsg>();
   tok->ln = ln_;
   tok->queue = token_queue_;
   have_token_ = false;

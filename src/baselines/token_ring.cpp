@@ -70,7 +70,7 @@ void TokenRingMutex::arm_wakeup_timer() {
 
 void TokenRingMutex::send_wakeup() {
   if (!pending_.has_value() || have_token_) return;
-  send(next_node(), net::make_payload<RingWakeupMsg>(0));
+  send(next_node(), net::make_payload<RingWakeupMsg>(0u));
   arm_wakeup_timer();
 }
 

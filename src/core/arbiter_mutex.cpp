@@ -56,7 +56,10 @@ void ArbiterStats::merge(const ArbiterStats& o) {
 ArbiterMutex::ArbiterMutex(ArbiterParams params, std::size_t n_nodes)
     : params_(params), n_(n_nodes),
       q_sizes_(params.q_window > 0 ? params.q_window : 1),
-      last_granted_(n_nodes, 0) {
+      // The L array exists only in the sequenced variant; sizing it O(N) per
+      // node unconditionally costs O(N^2) memory cluster-wide (80 GB at
+      // N = 100k) and dominates large-N runs with page faults.
+      last_granted_(params.sequenced ? n_nodes : 0, 0) {
   if (n_nodes == 0) throw std::invalid_argument("ArbiterMutex: zero nodes");
   if (!params_.initial_arbiter.valid() ||
       params_.initial_arbiter.index() >= n_nodes) {
@@ -438,7 +441,10 @@ void ArbiterMutex::dispatch() {
     return;
   }
   order_batch(collect_q_, params_.order);
-  q_ = std::move(collect_q_);
+  // Swap rather than move-assign: q_'s previous batch is dead here, and its
+  // buffer becomes the next collection round's capacity, keeping the
+  // steady-state enqueue path allocation-free.
+  q_.swap(collect_q_);
   collect_q_.clear();
   ++stats_.dispatches;
   emitf(kEvDispatch, [this] { return "Q=" + q_to_string(q_); }, 0,
@@ -481,7 +487,7 @@ void ArbiterMutex::finish_dispatch_normal() {
   const bool skip_broadcast =
       params_.suppress_self_broadcast ? keep_arbitership : sole_self_batch;
   if (!skip_broadcast || params_.recovery) {
-    auto msg = std::make_shared<NewArbiterMsg>();
+    auto msg = net::make_payload_mut<NewArbiterMsg>();
     msg->new_arbiter = tail;
     msg->q = q_;
     msg->counter = counter_;
@@ -523,7 +529,7 @@ void ArbiterMutex::enter_forwarding_phase() {
 // ---------------------------------------------------------------------------
 
 void ArbiterMutex::send_privilege(net::NodeId dst, bool via_monitor) {
-  auto msg = std::make_shared<PrivilegeMsg>();
+  auto msg = net::make_payload_mut<PrivilegeMsg>();
   msg->q = q_;
   if (params_.sequenced) msg->last_granted = last_granted_;
   msg->epoch = epoch_;
@@ -555,7 +561,7 @@ void ArbiterMutex::on_privilege(const net::Envelope&,
     // CS now could race a token regeneration.  Hold the token suspended and
     // tell the arbiter it surfaced.
     suspended_ = true;
-    auto reply = std::make_shared<EnquiryReplyMsg>();
+    auto reply = net::make_payload_mut<EnquiryReplyMsg>();
     reply->round = replied_waiting_round_;
     reply->status = TokenStatus::kHaveToken;
     send(arbiter_, std::move(reply));
@@ -642,7 +648,7 @@ void ArbiterMutex::monitor_token_visit() {
     return;
   }
   const net::NodeId tail = q_.back().node;
-  auto msg = std::make_shared<NewArbiterMsg>();
+  auto msg = net::make_payload_mut<NewArbiterMsg>();
   msg->new_arbiter = tail;
   msg->q = q_;
   msg->counter = 0;
@@ -726,7 +732,7 @@ void ArbiterMutex::on_new_arbiter(const net::Envelope& env,
       emitf(kEvRecoveryReassert, [] {
         return std::string("re-asserting arbitership (we hold the token)");
       });
-      auto assert_msg = std::make_shared<NewArbiterMsg>();
+      auto assert_msg = net::make_payload_mut<NewArbiterMsg>();
       assert_msg->new_arbiter = id();
       assert_msg->counter = counter_;
       assert_msg->monitor = monitor_;
@@ -860,7 +866,7 @@ void ArbiterMutex::on_token_timeout() {
   } else if (arbiter_.valid() && arbiter_ != id()) {
     ++stats_.warnings_sent;
     const std::uint64_t rid = pending_ ? pending_->request_id : 0;
-    auto w = std::make_shared<WarningMsg>();
+    auto w = net::make_payload_mut<WarningMsg>();
     w->request_id = rid;
     send(arbiter_, std::move(w));
   }
@@ -903,7 +909,7 @@ void ArbiterMutex::start_invalidation() {
         static_cast<double>(targets.size()));
   for (net::NodeId t : targets) {
     enquiry_recipients_.push_back(t);
-    auto e = std::make_shared<EnquiryMsg>();
+    auto e = net::make_payload_mut<EnquiryMsg>();
     e->round = enquiry_round_;
     send(t, std::move(e));
     ++stats_.enquiries_sent;
@@ -914,7 +920,7 @@ void ArbiterMutex::start_invalidation() {
 }
 
 void ArbiterMutex::on_enquiry(const net::Envelope& env, const EnquiryMsg& msg) {
-  auto reply = std::make_shared<EnquiryReplyMsg>();
+  auto reply = net::make_payload_mut<EnquiryReplyMsg>();
   reply->round = msg.round;
   if (have_token_) {
     reply->status = TokenStatus::kHaveToken;
@@ -936,7 +942,7 @@ void ArbiterMutex::on_enquiry_reply(const net::Envelope& env,
     if (msg.status == TokenStatus::kHaveToken) {
       // A token surfaced after we concluded loss and regenerated: it is
       // stale under the new epoch — order it discarded.
-      auto inv = std::make_shared<InvalidateMsg>();
+      auto inv = net::make_payload_mut<InvalidateMsg>();
       inv->round = msg.round;
       inv->new_epoch = epoch_;
       send(env.src, std::move(inv));
@@ -947,7 +953,7 @@ void ArbiterMutex::on_enquiry_reply(const net::Envelope& env,
   replies_[env.src] = msg.status;
   if (msg.status == TokenStatus::kHaveToken) {
     // Phase 2, token found: everything resumes.
-    auto r = std::make_shared<ResumeMsg>();
+    auto r = net::make_payload_mut<ResumeMsg>();
     r->round = msg.round;
     send(env.src, std::move(r));
     ++stats_.resumes_sent;
@@ -976,7 +982,7 @@ void ArbiterMutex::conclude_invalidation() {
   // of the Q-list.  Non-responders are presumed failed and excluded.
   ++epoch_;
   for (const QEntry& e : waiting_entries_) {
-    auto inv = std::make_shared<InvalidateMsg>();
+    auto inv = net::make_payload_mut<InvalidateMsg>();
     inv->round = enquiry_round_;
     inv->new_epoch = epoch_;
     send(e.node, std::move(inv));
@@ -1064,7 +1070,7 @@ void ArbiterMutex::takeover_arbitership() {
   emitf(kEvRecoveryTakeover, [] { return std::string("arbiter takeover"); });
   arbiter_ = id();
   become_arbiter(net::NodeId{}, QList{});
-  auto msg = std::make_shared<NewArbiterMsg>();
+  auto msg = net::make_payload_mut<NewArbiterMsg>();
   msg->new_arbiter = id();
   msg->counter = counter_;
   msg->monitor = monitor_;

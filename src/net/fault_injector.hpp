@@ -60,6 +60,12 @@ class FaultInjector {
  public:
   using Predicate = std::function<bool(const Envelope&)>;
 
+  /// Pre-sizes the per-kind loss table to every kind registered so far
+  /// (matching Network's sent_by_kind policy): the resize branch in
+  /// set_loss_probability never fires for types linked into the binary.
+  FaultInjector()
+      : per_kind_loss_(MsgKindRegistry::instance().size(), kUnsetLoss) {}
+
   /// Probability in [0,1] that any message is silently dropped.
   void set_loss_probability(double p);
 

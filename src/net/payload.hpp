@@ -8,18 +8,37 @@
 // Concrete payloads derive from the CRTP base Msg<T> and bind their wire name
 // with DMX_REGISTER_MESSAGE(T, "NAME"); type_name() is a registry lookup and
 // is intended for cold paths only (traces, tables, configuration).
+//
+// Memory plane (net/pool.hpp): payloads carry an intrusive refcount
+// instead of a shared_ptr control block and are allocated by make_payload<T>
+// from a size-bucketed slab pool, so the steady-state message path performs
+// zero heap allocations and a broadcast stays one allocation total.  The
+// refcount is deliberately non-atomic: a payload lives and dies on the one
+// thread that runs its simulation (the sweep runner's confinement
+// invariant), so there is nothing to synchronize.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "net/msg_kind.hpp"
 #include "net/node_id.hpp"
+#include "net/pool.hpp"
 #include "sim/time.hpp"
 
 namespace dmx::net {
+
+class PayloadPtr;
+template <typename T>
+class MutPayload;
+template <typename T, typename... Args>
+PayloadPtr make_payload(Args&&... args);
+template <typename T, typename... Args>
+MutPayload<T> make_payload_mut(Args&&... args);
 
 /// Base class for all message payloads.  Subclasses should be immutable
 /// value bags deriving from Msg<T> below.
@@ -54,9 +73,22 @@ class Payload {
 
  protected:
   explicit Payload(MsgKind kind) : kind_(kind) {}
+  // Copies are fresh objects: identity (refcount, allocation bucket) stays.
+  Payload(const Payload& o) : kind_(o.kind_) {}
+  Payload& operator=(const Payload&) { return *this; }
 
  private:
+  friend class PayloadPtr;
+  template <typename T, typename... Args>
+  friend PayloadPtr make_payload(Args&&... args);
+  template <typename T>
+  friend class MutPayload;
+  template <typename T, typename... Args>
+  friend MutPayload<T> make_payload_mut(Args&&... args);
+
   MsgKind kind_;
+  std::uint8_t bucket_ = kHeapBucket;  ///< Pool bucket owning *this.
+  mutable std::uint32_t refs_ = 0;  ///< Intrusive count; thread-confined.
 };
 
 /// CRTP base wiring a payload type to its registered kind.  Derived types
@@ -75,12 +107,166 @@ class Msg : public Payload {
   static inline const MsgKind kEagerKind = Derived::message_kind();
 };
 
-using PayloadPtr = std::shared_ptr<const Payload>;
+/// Intrusive shared owner of an immutable payload.  Mirrors the subset of
+/// the shared_ptr surface the codebase uses; copying is one non-atomic
+/// increment, no control block exists, and destruction hands the block back
+/// to the pool bucket recorded in the payload itself.
+class PayloadPtr {
+ public:
+  constexpr PayloadPtr() noexcept = default;
+  constexpr PayloadPtr(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  PayloadPtr(const PayloadPtr& o) noexcept : p_(o.p_) { retain(p_); }
+  PayloadPtr(PayloadPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+  PayloadPtr& operator=(const PayloadPtr& o) noexcept {
+    retain(o.p_);  // before release: self-assignment safe
+    release(p_);
+    p_ = o.p_;
+    return *this;
+  }
+  PayloadPtr& operator=(PayloadPtr&& o) noexcept {
+    if (this != &o) {
+      release(p_);
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  PayloadPtr& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+  ~PayloadPtr() { release(p_); }
 
-/// Convenience factory: make_payload<Req>(args...) -> PayloadPtr.
+  void reset() noexcept {
+    release(p_);
+    p_ = nullptr;
+  }
+  void swap(PayloadPtr& o) noexcept { std::swap(p_, o.p_); }
+
+  [[nodiscard]] const Payload* get() const noexcept { return p_; }
+  const Payload& operator*() const noexcept { return *p_; }
+  const Payload* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  friend bool operator==(const PayloadPtr& a, const PayloadPtr& b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const PayloadPtr& a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  template <typename T, typename... Args>
+  friend PayloadPtr make_payload(Args&&... args);
+  template <typename T>
+  friend class MutPayload;
+
+  /// Takes ownership of a reference the caller already holds (no retain).
+  static PayloadPtr adopt(const Payload* p) noexcept {
+    PayloadPtr r;
+    r.p_ = p;
+    return r;
+  }
+  /// Shares an existing live object (+1).
+  static PayloadPtr share(const Payload* p) noexcept {
+    PayloadPtr r;
+    r.p_ = p;
+    retain(p);
+    return r;
+  }
+
+  static void retain(const Payload* p) noexcept {
+    if (p) ++p->refs_;
+  }
+  static void release(const Payload* p) noexcept {
+    if (p && --p->refs_ == 0) destroy(p);
+  }
+  static void destroy(const Payload* p) noexcept {
+    // Payload is the primary (offset-0) base of every message type, so the
+    // Payload* is also the start of the allocation; make_payload asserts it.
+    const std::uint8_t bucket = p->bucket_;
+    void* mem = const_cast<void*>(static_cast<const void*>(p));
+    p->~Payload();
+    PayloadAlloc::deallocate(mem, bucket);
+  }
+
+  const Payload* p_ = nullptr;
+};
+
+/// Convenience factory: make_payload<Req>(args...) -> PayloadPtr.  One pool
+/// allocation; the payload records its bucket so release needs no lookup.
 template <typename T, typename... Args>
 PayloadPtr make_payload(Args&&... args) {
-  return std::make_shared<const T>(std::forward<Args>(args)...);
+  static_assert(std::is_base_of_v<Payload, T>);
+  std::uint8_t bucket = kHeapBucket;
+  void* mem = PayloadAlloc::allocate(sizeof(T), bucket);
+  T* obj;
+  try {
+    obj = ::new (mem) T(std::forward<Args>(args)...);
+  } catch (...) {
+    PayloadAlloc::deallocate(mem, bucket);
+    throw;
+  }
+  assert(static_cast<const void*>(static_cast<const Payload*>(obj)) == mem);
+  obj->bucket_ = bucket;
+  obj->refs_ = 1;
+  return PayloadPtr::adopt(obj);
+}
+
+/// Exclusive handle to a payload under construction: protocol code that
+/// builds a message field-by-field does
+///
+///   auto msg = make_payload_mut<PrivilegeMsg>();
+///   msg->q = ...;
+///   send(dst, std::move(msg));
+///
+/// Converting to PayloadPtr freezes the message (the const view); moving the
+/// handle into the conversion transfers the reference with no count churn.
+template <typename T>
+class MutPayload {
+ public:
+  MutPayload(MutPayload&& o) noexcept : obj_(o.obj_) { o.obj_ = nullptr; }
+  MutPayload(const MutPayload&) = delete;
+  MutPayload& operator=(const MutPayload&) = delete;
+  MutPayload& operator=(MutPayload&&) = delete;
+  ~MutPayload() { PayloadPtr::release(obj_); }
+
+  T* operator->() noexcept { return obj_; }
+  T& operator*() noexcept { return *obj_; }
+
+  // NOLINTNEXTLINE(runtime/explicit): implicit freeze is the point.
+  operator PayloadPtr() const& noexcept { return PayloadPtr::share(obj_); }
+  operator PayloadPtr() && noexcept {
+    const T* p = obj_;
+    obj_ = nullptr;
+    return PayloadPtr::adopt(p);
+  }
+
+ private:
+  template <typename U, typename... Args>
+  friend MutPayload<U> make_payload_mut(Args&&... args);
+  explicit MutPayload(T* adopted) noexcept : obj_(adopted) {}
+
+  T* obj_;
+};
+
+/// make_payload, but the caller may still mutate the object before sending.
+template <typename T, typename... Args>
+MutPayload<T> make_payload_mut(Args&&... args) {
+  static_assert(std::is_base_of_v<Payload, T>);
+  std::uint8_t bucket = kHeapBucket;
+  void* mem = PayloadAlloc::allocate(sizeof(T), bucket);
+  T* obj;
+  try {
+    obj = ::new (mem) T(std::forward<Args>(args)...);
+  } catch (...) {
+    PayloadAlloc::deallocate(mem, bucket);
+    throw;
+  }
+  assert(static_cast<const void*>(static_cast<const Payload*>(obj)) == mem);
+  obj->bucket_ = bucket;
+  obj->refs_ = 1;
+  return MutPayload<T>(obj);
 }
 
 /// Typed view of a payload; nullptr if the payload is of a different type.

@@ -1,0 +1,125 @@
+#include "net/pool.hpp"
+
+#include <new>
+#include <vector>
+
+namespace dmx::net {
+namespace {
+
+/// Intrusive free-list node, stored in the freed block itself.  Every bucket
+/// is at least 64 bytes and at least max_align_t-aligned, so the overlay is
+/// always in bounds and aligned.
+struct FreeNode {
+  FreeNode* next;
+};
+
+constexpr std::size_t kSlabBytes = 64 * 1024;
+
+/// One thread's pool: per-bucket free lists fed by 64 KiB slabs.  Slabs are
+/// returned to the heap when the pool (i.e. the thread) dies; individual
+/// blocks only ever cycle through the free lists.  Payloads must therefore
+/// not outlive the thread that created them — the sweep runner's payload
+/// confinement invariant, which also makes the whole pool lock-free.
+class ThreadPool {
+ public:
+  ~ThreadPool() {
+    for (void* s : slabs_) ::operator delete(s);
+  }
+
+  void* allocate(std::size_t size, std::uint8_t& bucket) {
+    bucket = bucket_for(size);
+    ++stats_.live;
+    if (bucket == kHeapBucket) {
+      ++stats_.heap_served;
+      return ::operator new(size);
+    }
+    FreeNode*& head = free_[bucket];
+    if (head == nullptr) refill(bucket);
+    FreeNode* node = head;
+    head = node->next;
+    ++stats_.pool_served;
+    return node;
+  }
+
+  void deallocate(void* p, std::uint8_t bucket) noexcept {
+    --stats_.live;
+    if (bucket == kHeapBucket) {
+      ::operator delete(p);
+      return;
+    }
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[bucket];
+    free_[bucket] = node;
+  }
+
+  [[nodiscard]] const AllocStats& stats() const { return stats_; }
+
+ private:
+  /// Cold path: fetch a slab and carve it into blocks of this bucket's size.
+  void refill(std::uint8_t bucket) {
+    char* slab = static_cast<char*>(::operator new(kSlabBytes));
+    slabs_.push_back(slab);
+    ++stats_.slabs;
+    const std::size_t step = bucket_size(bucket);
+    FreeNode*& head = free_[bucket];
+    for (std::size_t off = 0; off + step <= kSlabBytes; off += step) {
+      auto* node = reinterpret_cast<FreeNode*>(slab + off);
+      node->next = head;
+      head = node;
+    }
+  }
+
+  FreeNode* free_[kBucketCount] = {};
+  std::vector<void*> slabs_;
+  AllocStats stats_;
+};
+
+ThreadPool& local_pool() {
+  static thread_local ThreadPool pool;
+  return pool;
+}
+
+AllocStats& std_alloc_stats() {
+  static thread_local AllocStats stats;
+  return stats;
+}
+
+}  // namespace
+
+void* PoolAllocPolicy::allocate(std::size_t size, std::uint8_t& bucket) {
+  return local_pool().allocate(size, bucket);
+}
+
+void PoolAllocPolicy::deallocate(void* p, std::uint8_t bucket) noexcept {
+  local_pool().deallocate(p, bucket);
+}
+
+const AllocStats& PoolAllocPolicy::stats() { return local_pool().stats(); }
+
+void* StdAllocPolicy::allocate(std::size_t size, std::uint8_t& bucket) {
+  // Identical bucket bookkeeping to the pool, so deallocate() can hand
+  // std::allocator the exact size it was asked for.
+  bucket = bucket_for(size);
+  AllocStats& st = std_alloc_stats();
+  ++st.live;
+  ++st.heap_served;
+  if (bucket == kHeapBucket) return ::operator new(size);
+  return std::allocator<std::byte>{}.allocate(bucket_size(bucket));
+}
+
+void StdAllocPolicy::deallocate(void* p, std::uint8_t bucket) noexcept {
+  --std_alloc_stats().live;
+  // std::allocator wants the request size back; buckets encode it.  Oversize
+  // blocks bypassed std::allocator (their exact size is gone by free time),
+  // so they pair with plain operator new/delete.
+  if (bucket == kHeapBucket) {
+    ::operator delete(p);
+    return;
+  }
+  std::allocator<std::byte>{}.deallocate(static_cast<std::byte*>(p),
+                                         bucket_size(bucket));
+}
+
+const AllocStats& StdAllocPolicy::stats() { return std_alloc_stats(); }
+
+}  // namespace dmx::net

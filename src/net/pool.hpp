@@ -1,0 +1,109 @@
+// Payload memory plane: a size-bucketed slab pool with a swappable policy.
+//
+// Every message the simulator moves is a small polymorphic object with a
+// lifetime of a few simulated time units.  Allocating each one with operator
+// new (as shared_ptr control blocks did) makes the general-purpose heap the
+// hot loop of a 100k-node sweep.  The pool below carves thread-local slabs
+// into fixed-size buckets and recycles freed blocks through intrusive free
+// lists, so the steady-state send -> schedule -> deliver -> dispatch path
+// never touches the heap.
+//
+// The allocation policy is a compile-time switch (the allocator-as-policy
+// idiom): PoolAllocPolicy is the default, StdAllocPolicy routes every
+// request through std::allocator instead.  Sanitizer builds select the
+// fallback automatically — ASan/TSan instrument operator new, and a
+// recycling pool would hide use-after-free and ownership races from them —
+// and -DDMX_FORCE_STD_ALLOC forces it anywhere else.
+//
+// Thread safety: pools are thread-local and blocks must be freed on the
+// thread that allocated them.  That is exactly the payload confinement
+// invariant the parallel sweep runner already guarantees (each job runs
+// start-to-finish on one worker thread and results carry no payloads), so
+// no locks are needed and TSan has nothing to say.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#if !defined(DMX_FORCE_STD_ALLOC)
+#  if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#    define DMX_FORCE_STD_ALLOC 1
+#  elif defined(__has_feature)
+#    if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#      define DMX_FORCE_STD_ALLOC 1
+#    endif
+#  endif
+#endif
+#if !defined(DMX_FORCE_STD_ALLOC)
+#  define DMX_FORCE_STD_ALLOC 0
+#endif
+
+namespace dmx::net {
+
+/// Allocation counters for one policy (per thread for the pool).  `served`
+/// splits by where the block came from; `live` is blocks not yet freed.
+struct AllocStats {
+  std::uint64_t pool_served = 0;  ///< Blocks handed out of a bucket.
+  std::uint64_t heap_served = 0;  ///< Oversize (or fallback) blocks.
+  std::uint64_t slabs = 0;        ///< Slabs fetched from the heap so far.
+  std::uint64_t live = 0;         ///< Outstanding blocks of either flavour.
+};
+
+/// Bucket geometry shared by both policies: sizes 64 << i, i in [0, 5), so
+/// 64..1024 bytes.  The sentinel kHeapBucket marks an oversize block that
+/// went straight to the heap and must go back there.
+inline constexpr std::size_t kBucketCount = 5;
+inline constexpr std::uint8_t kHeapBucket = 0xFF;
+
+[[nodiscard]] constexpr std::size_t bucket_size(std::uint8_t bucket) {
+  return std::size_t{64} << bucket;
+}
+
+[[nodiscard]] constexpr std::uint8_t bucket_for(std::size_t size) {
+  for (std::uint8_t b = 0; b < kBucketCount; ++b) {
+    if (size <= bucket_size(b)) return b;
+  }
+  return kHeapBucket;
+}
+
+/// Default policy: thread-local slab pool with per-bucket free lists.
+/// allocate() writes the owning bucket into `bucket` so deallocate() is a
+/// single free-list push with no size lookup.
+struct PoolAllocPolicy {
+  static void* allocate(std::size_t size, std::uint8_t& bucket);
+  static void deallocate(void* p, std::uint8_t bucket) noexcept;
+  [[nodiscard]] static const AllocStats& stats();
+};
+
+/// Fallback policy: every request goes through std::allocator (i.e. the
+/// instrumented global heap).  Bucket bookkeeping is kept identical so the
+/// two policies are behaviourally interchangeable.
+struct StdAllocPolicy {
+  static void* allocate(std::size_t size, std::uint8_t& bucket);
+  static void deallocate(void* p, std::uint8_t bucket) noexcept;
+  [[nodiscard]] static const AllocStats& stats();
+};
+
+#if DMX_FORCE_STD_ALLOC
+using PayloadAlloc = StdAllocPolicy;
+inline constexpr bool kPayloadPoolEnabled = false;
+#else
+using PayloadAlloc = PoolAllocPolicy;
+inline constexpr bool kPayloadPoolEnabled = true;
+#endif
+
+/// True when payloads come from the recycling pool (false under sanitizers
+/// or DMX_FORCE_STD_ALLOC).  Allocation-regression tests skip themselves
+/// when this is false.
+[[nodiscard]] constexpr bool payload_pool_enabled() {
+  return kPayloadPoolEnabled;
+}
+
+/// Counters of the active policy, for tests and bench reporting.
+[[nodiscard]] inline const AllocStats& payload_alloc_stats() {
+  return PayloadAlloc::stats();
+}
+
+}  // namespace dmx::net

@@ -51,11 +51,12 @@ ReliableEndpoint::ReliableEndpoint(Network& net, NodeId self,
                                    ReliableTransportConfig cfg,
                                    std::uint64_t rng_seed, obs::Tracer tracer)
     : net_(net), sim_(net.simulator()), self_(self), upper_(upper), cfg_(cfg),
-      rng_(rng_seed), tracer_(std::move(tracer)), peers_(net.size()) {
+      rng_(rng_seed), tracer_(std::move(tracer)) {
   if (!self.valid() || self.index() >= net.size()) {
     throw std::out_of_range("ReliableEndpoint: node id out of range");
   }
-  for (auto& ps : peers_) ps.rto = cfg_.rto_initial;
+  // peers_ stays empty until first contact (see peer_state()): endpoints are
+  // O(1) to build regardless of cluster size.
 }
 
 void ReliableEndpoint::emit(obs::EventKind kind, NodeId peer,
@@ -162,7 +163,8 @@ void ReliableEndpoint::handle_data(const Envelope& env, const RtData& d) {
     // Epoch announcement; ack_gen 0 never matches a live stream, so the
     // zero cum/sack can never be applied — only the fence matters.
     net_.send(self_, env.src,
-              make_payload<RtAck>(epoch_, d.src_epoch, 0, 0, 0));
+              make_payload<RtAck>(epoch_, d.src_epoch, std::uint32_t{0},
+                                  std::uint64_t{0}, std::uint64_t{0}));
     return;
   }
   note_peer_epoch(env.src, d.src_epoch);
@@ -194,7 +196,7 @@ void ReliableEndpoint::handle_data(const Envelope& env, const RtData& d) {
   // Piggybacked ack, valid only for the exact stream our window belongs to:
   // the incarnation it addresses and the generation it numbers.
   if (d.src_epoch == ps.peer_epoch && d.ack_gen == ps.tx_gen) {
-    apply_ack(ps, d.cum_ack, d.sack_mask);
+    apply_ack(env.src, ps, d.cum_ack, d.sack_mask);
   }
 
   if (d.seq <= ps.cum || ps.buffer.contains(d.seq)) {
@@ -242,11 +244,11 @@ void ReliableEndpoint::handle_ack(NodeId peer, const RtAck& a) {
   // number a dead sequence space; applying one could wrongly retire fresh
   // frames that happen to reuse the same seqs.
   if (a.src_epoch == ps.peer_epoch && a.ack_gen == ps.tx_gen) {
-    apply_ack(ps, a.cum_ack, a.sack_mask);
+    apply_ack(peer, ps, a.cum_ack, a.sack_mask);
   }
 }
 
-void ReliableEndpoint::apply_ack(PeerState& ps, std::uint64_t cum,
+void ReliableEndpoint::apply_ack(NodeId peer, PeerState& ps, std::uint64_t cum,
                                  std::uint64_t sack) {
   bool progress = false;
   while (!ps.window.empty() && ps.window.front().seq <= cum) {
@@ -267,11 +269,7 @@ void ReliableEndpoint::apply_ack(PeerState& ps, std::uint64_t cum,
     sim_.cancel(ps.rto_event);
     ps.rto_event = sim::EventId{};
   }
-  if (!ps.window.empty()) {
-    // Re-find the peer index for the timer callback.
-    const auto idx = static_cast<std::size_t>(&ps - peers_.data());
-    arm_rto(NodeId{static_cast<std::int32_t>(idx)});
-  }
+  if (!ps.window.empty()) arm_rto(peer);
 }
 
 std::uint64_t ReliableEndpoint::sack_mask(const PeerState& ps) const {
@@ -347,7 +345,9 @@ void ReliableEndpoint::on_rto(NodeId peer) {
 
 void ReliableEndpoint::on_crash() {
   down_ = true;
-  for (auto& ps : peers_) {
+  // Map iteration order is unspecified; every operation below is per-peer
+  // and order-independent, so determinism is unaffected.
+  for (auto& [peer, ps] : peers_) {
     if (ps.rto_event.valid()) sim_.cancel(ps.rto_event);
     if (ps.ack_event.valid()) sim_.cancel(ps.ack_event);
     ps.rto_event = sim::EventId{};
@@ -357,7 +357,7 @@ void ReliableEndpoint::on_crash() {
 
 void ReliableEndpoint::on_restart() {
   ++epoch_;
-  for (auto& ps : peers_) {
+  for (auto& [peer, ps] : peers_) {
     // The old incarnation's outbound state dies with it...
     stats_.abandoned += ps.window.size();
     ps.window.clear();

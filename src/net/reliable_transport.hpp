@@ -48,6 +48,7 @@
 #include <deque>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
@@ -80,6 +81,14 @@ struct ReliableTransportConfig {
 /// sweep tables).  Per-kind counters are indexed by the *inner* payload kind,
 /// so "retransmits of PRIVILEGE" is a first-class statistic.
 struct TransportStats {
+  /// Pre-sizes the per-kind tables to every registered kind (same policy as
+  /// NetworkStats): the growth branch in increment() never fires mid-run.
+  TransportStats() {
+    const std::size_t n = MsgKindRegistry::instance().size();
+    retrans_by_kind.ensure(n);
+    dup_dropped_by_kind.ensure(n);
+  }
+
   std::uint64_t data_sent = 0;     ///< Fresh RT-DATA frames.
   std::uint64_t retransmits = 0;   ///< RT-DATA frames resent on timeout.
   std::uint64_t acks_sent = 0;     ///< Standalone RT-ACK frames.
@@ -211,7 +220,8 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
 
   /// Retire window entries covered by (cum, sack); on progress the RTO
   /// resets to its initial value.
-  void apply_ack(PeerState& ps, std::uint64_t cum, std::uint64_t sack);
+  void apply_ack(NodeId peer, PeerState& ps, std::uint64_t cum,
+                 std::uint64_t sack);
 
   void deliver_ready(NodeId peer, PeerState& ps);
   void transmit(PeerState& ps, NodeId dst, const Unacked& u,
@@ -222,7 +232,15 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
   void on_rto(NodeId peer);
   void emit(obs::EventKind kind, NodeId peer, double value) const;
   [[nodiscard]] std::uint64_t sack_mask(const PeerState& ps) const;
-  PeerState& peer_state(NodeId peer) { return peers_[peer.index()]; }
+
+  /// Per-peer state materializes on first contact: a node talks to O(active
+  /// peers), not O(N), so a 100k-node cluster is not forced into N^2
+  /// PeerStates (each of which owns a deque and a map) at construction.
+  PeerState& peer_state(NodeId peer) {
+    auto [it, inserted] = peers_.try_emplace(peer.value());
+    if (inserted) it->second.rto = cfg_.rto_initial;
+    return it->second;
+  }
 
   Network& net_;
   sim::Simulator& sim_;
@@ -233,7 +251,7 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
   obs::Tracer tracer_;
   std::uint32_t epoch_ = 1;
   bool down_ = false;
-  std::vector<PeerState> peers_;
+  std::unordered_map<std::int32_t, PeerState> peers_;  ///< Keyed by peer id.
   TransportStats stats_;
 };
 

@@ -8,7 +8,12 @@ Cluster::Cluster(std::size_t n_nodes, std::unique_ptr<net::DelayModel> delay,
       net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
                                           seed)),
       tracer_(std::move(tracer)), processes_(n_nodes), endpoints_(n_nodes),
-      seed_(seed) {}
+      seed_(seed) {
+  // Reserve event storage for a broadcast-heavy steady state (one in-flight
+  // message per node plus timer slack) so large-N runs build their working
+  // set once instead of growing it mid-run.
+  sim_->reserve(2 * n_nodes + 64);
+}
 
 Cluster::Cluster(sim::Simulator& shared_sim, std::size_t n_nodes,
                  std::unique_ptr<net::DelayModel> delay, std::uint64_t seed,
@@ -17,7 +22,9 @@ Cluster::Cluster(sim::Simulator& shared_sim, std::size_t n_nodes,
       net_(std::make_unique<net::Network>(*sim_, n_nodes, std::move(delay),
                                           seed)),
       tracer_(std::move(tracer)), processes_(n_nodes), endpoints_(n_nodes),
-      seed_(seed) {}
+      seed_(seed) {
+  sim_->reserve(2 * n_nodes + 64);
+}
 
 void Cluster::use_reliable_transport(net::ReliableTransportConfig cfg) {
   for (const auto& p : processes_) {

@@ -56,25 +56,42 @@ TimerId Process::set_timer(sim::SimTime delay, std::function<void()> fn) {
   const std::uint64_t tid = next_timer_id_++;
   sim::EventId ev = simulator().schedule_after(
       delay, [this, tid, fn = std::move(fn)]() {
-        timers_.erase(tid);
+        erase_timer(tid);
         if (!crashed_) fn();
       });
-  timers_.emplace(tid, ev);
+  timers_.emplace_back(tid, ev);
   return TimerId(tid);
 }
 
-void Process::cancel_timer(TimerId& timer) {
-  if (!timer.valid()) return;
-  auto it = timers_.find(timer.id_);
-  if (it != timers_.end()) {
-    simulator().cancel(it->second);
-    timers_.erase(it);
+void Process::erase_timer(std::uint64_t tid) {
+  for (auto& entry : timers_) {
+    if (entry.first == tid) {
+      entry = timers_.back();  // order is irrelevant; swap-and-pop
+      timers_.pop_back();
+      return;
+    }
   }
-  timer = TimerId{};
+}
+
+void Process::cancel_timer(TimerId& timer) {
+  if (timer.valid()) {
+    for (const auto& [tid, ev] : timers_) {
+      if (tid == timer.id_) {
+        simulator().cancel(ev);
+        erase_timer(tid);
+        break;
+      }
+    }
+    timer = TimerId{};
+  }
 }
 
 bool Process::timer_pending(TimerId timer) const {
-  return timer.valid() && timers_.contains(timer.id_);
+  if (!timer.valid()) return false;
+  for (const auto& entry : timers_) {
+    if (entry.first == timer.id_) return true;
+  }
+  return false;
 }
 
 void Process::cancel_all_timers() {

@@ -10,7 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/network.hpp"
 #include "net/payload.hpp"
@@ -114,6 +115,7 @@ class Process : public net::MessageHandler {
   friend class Cluster;
   void bind(Cluster* cluster, net::Network* net, net::NodeId id,
             obs::Tracer tracer);
+  void erase_timer(std::uint64_t tid);
   void set_transport(net::Transport* t) { transport_ = t; }
 
   Cluster* cluster_ = nullptr;
@@ -123,7 +125,9 @@ class Process : public net::MessageHandler {
   obs::Tracer tracer_;
   bool crashed_ = false;
   std::uint64_t next_timer_id_ = 1;
-  std::unordered_map<std::uint64_t, sim::EventId> timers_;
+  /// Live timers, flat: a process owns a handful at a time, so linear scans
+  /// beat a hash map and the backing array is reused across arm/fire cycles.
+  std::vector<std::pair<std::uint64_t, sim::EventId>> timers_;
 };
 
 }  // namespace dmx::runtime

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace dmx::sim {
@@ -11,30 +12,49 @@ EventId Simulator::schedule_at(SimTime t, Callback fn) {
   if (!fn) {
     throw std::invalid_argument("Simulator::schedule_at: empty callback");
   }
-  const std::uint64_t id = next_id_++;
-  heap_.push(HeapEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const std::uint64_t id = pack(slot, slots_[slot].gen);
+  heap_.push_back(HeapEntry{t, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end());
+  ++pending_;
   return EventId(id);
 }
 
 bool Simulator::cancel(EventId id) {
-  return callbacks_.erase(id.id_) > 0;  // heap entry skipped lazily on pop
+  if (!pending(id)) return false;
+  free_slot(slot_of(id.id_));  // heap entry skipped lazily on pop
+  return true;
 }
 
 bool Simulator::skip_cancelled() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty()) {
+    const std::uint64_t id = heap_.front().id;
+    const std::uint32_t slot = slot_of(id);
+    if (slots_[slot].gen == gen_of(id)) return true;
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
   }
-  return !heap_.empty();
+  return false;
 }
 
 bool Simulator::step() {
   if (!skip_cancelled()) return false;
-  const HeapEntry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  Callback fn = std::move(it->second);
-  callbacks_.erase(it);
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end());
+  heap_.pop_back();
+  const std::uint32_t slot = slot_of(top.id);
+  Callback fn = std::move(slots_[slot].fn);
+  // Vacate before running: the callback may reschedule into this very slot
+  // (under a new generation) or cancel other events.
+  free_slot(slot);
   now_ = top.time;
   ++events_executed_;
   fn();
@@ -49,12 +69,18 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime t) {
   stopped_ = false;
-  while (!stopped_ && skip_cancelled() && heap_.top().time <= t) {
+  while (!stopped_ && skip_cancelled() && heap_.front().time <= t) {
     step();
   }
   // A stop() mid-run leaves the clock at the stopping event's time; only a
   // run that genuinely drained the window advances to the horizon.
   if (!stopped_ && now_ < t) now_ = t;
+}
+
+void Simulator::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slots_.reserve(events);
+  free_slots_.reserve(events);
 }
 
 }  // namespace dmx::sim

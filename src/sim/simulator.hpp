@@ -3,17 +3,20 @@
 // A Simulator owns a virtual clock and a priority queue of scheduled events.
 // Events at equal times fire in scheduling order (FIFO tie-breaking via a
 // monotonically increasing sequence number), which makes runs deterministic.
-// Cancellation is O(1) amortized via lazy deletion: cancelled event ids are
-// removed from the callback map and skipped when popped from the heap.
+//
+// Event storage is flat: callbacks live in a slot vector recycled through a
+// free list, and an EventId packs (slot, generation) so cancellation and
+// pending checks are one bounds-checked compare — no hash map, and at steady
+// state (slots and heap at high-water capacity) scheduling an event is
+// allocation-free.  Cancellation is O(1): the slot is freed immediately
+// (bumping its generation) and the heap entry is skipped lazily when popped.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace dmx::sim {
@@ -39,7 +42,7 @@ class EventId {
 ///   sim.run();
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -61,7 +64,9 @@ class Simulator {
 
   /// True if the given event is still pending (scheduled and not yet fired).
   [[nodiscard]] bool pending(EventId id) const {
-    return callbacks_.contains(id.id_);
+    const std::uint32_t slot = slot_of(id.id_);
+    return id.id_ != 0 && slot < slots_.size() &&
+           slots_[slot].gen == gen_of(id.id_);
   }
 
   /// Run the next pending event, if any.  Returns false when the queue is
@@ -85,30 +90,62 @@ class Simulator {
   }
 
   /// Number of events currently pending (excludes cancelled ones).
-  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return pending_; }
+
+  /// Pre-size internal storage for an expected number of simultaneously
+  /// pending events (large-N clusters reserve once instead of growing).
+  void reserve(std::size_t events);
 
  private:
   struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    std::uint64_t id;
-    // Min-heap: std::priority_queue is a max-heap, so invert the comparison.
+    std::uint64_t id;  ///< Packed (generation, slot+1), as in EventId.
+    // Min-heap via std::push_heap/pop_heap, which build a max-heap: invert.
     friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  // Pops cancelled entries; returns false when the heap is effectively empty.
+  /// A scheduled (or recycled) callback.  `gen` counts lifetimes: it is
+  /// bumped when the slot is vacated, so a stale EventId can never match.
+  struct EventSlot {
+    Callback fn;
+    std::uint32_t gen = 0;
+  };
+
+  static constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
+    return (std::uint64_t{gen} << 32) | (std::uint64_t{slot} + 1);
+  }
+  static constexpr std::uint32_t slot_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1;
+  }
+  static constexpr std::uint32_t gen_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Vacate a slot: destroy the callback, invalidate outstanding ids, and
+  /// make the slot reusable.
+  void free_slot(std::uint32_t slot) {
+    slots_[slot].fn = Callback{};
+    ++slots_[slot].gen;
+    free_slots_.push_back(slot);
+    --pending_;
+  }
+
+  // Drops heap entries whose slot was cancelled; returns false when the
+  // heap is effectively empty.
   bool skip_cancelled();
 
   SimTime now_ = SimTime::zero();
   bool stopped_ = false;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<HeapEntry> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t pending_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<EventSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace dmx::sim

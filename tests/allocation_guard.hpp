@@ -1,0 +1,74 @@
+// AllocationGuard: counts global heap allocations inside a scope.
+//
+// Including this header REPLACES the program-wide operator new/delete with
+// counting forwarders, so it must be included by exactly ONE translation
+// unit of a test binary.  The guard reads the counter at construction;
+// count() returns how many allocations happened since.  Used by the
+// zero-allocation regression tests to pin the steady-state message path
+// (net/pool.hpp) at zero heap traffic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace dmx::testutil {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+class AllocationGuard {
+ public:
+  AllocationGuard() : start_(g_allocations.load(std::memory_order_relaxed)) {}
+
+  /// Heap allocations since this guard was constructed.
+  [[nodiscard]] std::uint64_t count() const {
+    return g_allocations.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+inline void* counted_alloc(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n ? n : 1) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace dmx::testutil
+
+// Replacement global allocation functions (one definition per program; this
+// header is included by one TU only).  glibc frees malloc and posix_memalign
+// blocks interchangeably, so one operator delete serves both paths.
+void* operator new(std::size_t n) { return dmx::testutil::counted_alloc(n); }
+void* operator new[](std::size_t n) { return dmx::testutil::counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return dmx::testutil::counted_aligned_alloc(n,
+                                              static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return dmx::testutil::counted_aligned_alloc(n,
+                                              static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
