@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Verification smoke: bounded exhaustive model checking of the N=3 worlds
+# that CI can afford, plus a mutant-catch + replay round trip.  Run against
+# a dmx_verify built with ASan/UBSan (the sanitizers CI job does).
+#
+#  1. arbiter-tp with recovery survives a crash choice at every reachable
+#     state — zero violations, exploration complete.
+#  2. suzuki-kasami fault-free is clean.
+#  3. Exploration is deterministic: two runs print byte-identical output.
+#  4. The seeded mutant-token-regen bug IS caught, its counterexample file
+#     replays to the same violation, and two replay traces are
+#     byte-identical.
+#
+# Usage: scripts/verify_smoke.sh <path-to-dmx_verify>
+set -u
+
+VERIFY="${1:?usage: verify_smoke.sh <path-to-dmx_verify>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+echo "=== verify smoke: arbiter-tp + recovery, one crash fault"
+if out=$("$VERIFY" --algo arbiter-tp --n 3 --requests 1 \
+         --param recovery=1 --fault "t=0 crash 2" 2>&1); then
+  echo "$out" | sed -n '2,5p'
+  echo "ok: arbiter survives every crash schedule"
+else
+  echo "$out"
+  echo "FAIL: arbiter-tp with recovery violated an invariant (or capped)"
+  FAILURES=$((FAILURES + 1))
+fi
+echo
+
+echo "=== verify smoke: suzuki-kasami fault-free"
+if out=$("$VERIFY" --algo suzuki-kasami --n 3 --requests 1 2>&1); then
+  echo "$out" | sed -n '2,5p'
+  echo "ok: suzuki-kasami clean"
+else
+  echo "$out"
+  echo "FAIL: suzuki-kasami fault-free violated an invariant"
+  FAILURES=$((FAILURES + 1))
+fi
+echo
+
+echo "=== verify smoke: determinism (two identical explorations)"
+"$VERIFY" --algo arbiter-tp --n 3 --requests 1 > "$WORK/run1.txt" 2>&1
+"$VERIFY" --algo arbiter-tp --n 3 --requests 1 > "$WORK/run2.txt" 2>&1
+if cmp -s "$WORK/run1.txt" "$WORK/run2.txt"; then
+  echo "ok: byte-identical schedules/pruned counts across runs"
+else
+  echo "FAIL: exploration output differs between identical runs"
+  diff "$WORK/run1.txt" "$WORK/run2.txt" | head -10
+  FAILURES=$((FAILURES + 1))
+fi
+echo
+
+echo "=== verify smoke: mutant catch + counterexample replay"
+"$VERIFY" --algo mutant-token-regen --n 3 --requests 1 \
+  --cex-out "$WORK/regen.cex" > "$WORK/mutant.txt" 2>&1
+status=$?
+if [ "$status" -ne 1 ] || ! grep -q "VIOLATION mutual-exclusion" "$WORK/mutant.txt"; then
+  cat "$WORK/mutant.txt"
+  echo "FAIL: seeded mutant-token-regen bug was not caught (exit $status)"
+  FAILURES=$((FAILURES + 1))
+else
+  if "$VERIFY" --replay "$WORK/regen.cex" \
+       --trace-out "$WORK/t1.jsonl" > /dev/null 2>&1 \
+     && "$VERIFY" --replay "$WORK/regen.cex" \
+       --trace-out "$WORK/t2.jsonl" > /dev/null 2>&1 \
+     && cmp -s "$WORK/t1.jsonl" "$WORK/t2.jsonl"; then
+    echo "ok: mutant caught, counterexample replays byte-identically"
+  else
+    echo "FAIL: counterexample did not replay byte-identically"
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+echo
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "verify smoke: ${FAILURES} failure(s)"
+  exit 1
+fi
+echo "verify smoke: bounded model checking clean, mutants caught"

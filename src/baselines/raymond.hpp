@@ -38,7 +38,9 @@ class RaymondMutex final : public mutex::MutexAlgorithm {
   }
   [[nodiscard]] std::string debug_state() const override;
 
-  [[nodiscard]] bool holds_token() const { return holder_self_; }
+  [[nodiscard]] std::optional<bool> holds_token() const override {
+    return holder_self_;
+  }
 
  protected:
   void on_start() override;

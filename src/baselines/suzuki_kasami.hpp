@@ -29,6 +29,9 @@ class SuzukiKasamiMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] std::string debug_state() const override;
 
   [[nodiscard]] bool has_token() const { return have_token_; }
+  [[nodiscard]] std::optional<bool> holds_token() const override {
+    return have_token_;
+  }
 
  protected:
   void on_start() override;

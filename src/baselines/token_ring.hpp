@@ -36,6 +36,9 @@ class TokenRingMutex final : public mutex::MutexAlgorithm {
 
   [[nodiscard]] bool has_token() const { return have_token_; }
   [[nodiscard]] bool parked() const { return have_token_ && parked_; }
+  [[nodiscard]] std::optional<bool> holds_token() const override {
+    return have_token_;
+  }
 
  protected:
   void on_start() override;

@@ -84,6 +84,9 @@ class ArbiterMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] const ArbiterStats& protocol_stats() const { return stats_; }
   [[nodiscard]] bool is_arbiter() const { return is_arbiter_; }
   [[nodiscard]] bool has_token() const { return have_token_; }
+  [[nodiscard]] std::optional<bool> holds_token() const override {
+    return have_token_;
+  }
   [[nodiscard]] net::NodeId known_arbiter() const { return arbiter_; }
   [[nodiscard]] net::NodeId known_monitor() const { return monitor_; }
   [[nodiscard]] const QList& token_q() const { return q_; }

@@ -95,6 +95,9 @@ usage: dmx_sweep [flags]
                          and exactly-once in-order delivery under loss
   --stall X              liveness stall threshold in sim units
                          (< 0 off; default: auto when --fault is given)
+  --max-events K         hard backstop on executed events per run
+                         (default 0 = auto from the load); a run that hits
+                         it fails with a per-node diagnosis
   --jobs J               run the seed×point job list on J worker threads
                          (default 1 = serial, 0 = one per hardware thread);
                          table, manifest and trace output is byte-identical
@@ -184,6 +187,8 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       }
     } else if (a == "--stall") {
       o.stall_threshold = parse_double(a, need_value(i++, a));
+    } else if (a == "--max-events") {
+      o.max_events = parse_u64(a, need_value(i++, a));
     } else if (a == "--jobs") {
       o.jobs = static_cast<std::size_t>(parse_u64(a, need_value(i++, a)));
     } else if (a == "--trace-out") {
@@ -270,6 +275,7 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     cfg.fault_plan = opts.fault_plan;
     cfg.transport = opts.transport;
     cfg.stall_threshold = opts.stall_threshold;
+    cfg.max_events = opts.max_events;
     for (const auto& [type, p] : opts.loss_by_type) {
       cfg.loss_by_type[type] = p;
     }
@@ -314,6 +320,7 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     stats::Welford msgs, resp, svc, soj, fwd, ttr, unavail;
     bool drained = true;
     bool stalled = false;
+    bool event_limited = false;
     std::uint64_t violations = 0;
     std::uint64_t faults = 0, recovered = 0, aborted = 0;
     std::uint64_t retrans = 0, dup_dropped = 0, acks = 0;
@@ -347,8 +354,14 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
         report += "\n" + r.stall_diagnosis;
         stall_reports.push_back(std::move(report));
       }
+      if (r.hit_event_limit) {
+        event_limited = true;
+        stall_reports.push_back("lambda=" + Table::num(lambda, 3) +
+                                " EVENT LIMIT\n" + r.event_limit_diagnosis);
+      }
     }
-    sound = sound && drained && violations == 0 && !stalled;
+    sound =
+        sound && drained && violations == 0 && !stalled && !event_limited;
     std::vector<std::string> row = {Table::num(lambda, 3),
                                     stats::mean_ci_95(msgs).to_string(3),
                                     Table::num(resp.mean(), 4),

@@ -16,6 +16,9 @@
 //                           interposes the ack/retransmit layer per node
 //   --stall X               liveness stall threshold (sim units); X < 0
 //                           disables the monitor, omit for auto
+//   --max-events K          hard backstop on executed events per run
+//                           (0 = auto from the load); hitting it fails the
+//                           run with a per-node diagnosis
 //   --jobs J                parallel sweep workers (default 1 = serial,
 //                           0 = one per hardware thread); output is
 //                           byte-identical for every J
@@ -51,6 +54,7 @@ struct CliOptions {
   std::string fault_plan;
   TransportKind transport = TransportKind::kRaw;
   double stall_threshold = 0.0;  ///< See ExperimentConfig::stall_threshold.
+  std::uint64_t max_events = 0;  ///< See ExperimentConfig::max_events.
   /// Worker threads for the seed×point job list (harness::ParallelRunner).
   /// 1 = serial, 0 = one per hardware thread.  Table, manifest and trace
   /// output is byte-identical for every value.

@@ -56,6 +56,18 @@ void check_positive(std::vector<std::string>& errors, const char* what,
   }
 }
 
+std::uint64_t auto_event_bound(const ExperimentConfig& cfg) {
+  // Generous: a healthy run costs O(N) messages per CS (the broadcast
+  // baselines) plus timer/arrival chatter; give 100x headroom over that and
+  // a large absolute floor for tiny runs.  Computed in double to saturate
+  // instead of overflowing for astronomic request counts.
+  const double bound = 100.0 * static_cast<double>(cfg.total_requests) *
+                           (static_cast<double>(cfg.n_nodes) + 16.0) +
+                       10'000'000.0;
+  if (bound >= 9e18) return UINT64_MAX;
+  return static_cast<std::uint64_t>(bound);
+}
+
 double auto_stall_threshold(const ExperimentConfig& cfg) {
   // Must comfortably exceed the longest legitimate service pause: a node's
   // worst-case queueing plus one complete recovery episode (token timeout,
@@ -263,6 +275,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (progress) progress->start();
   const double bound =
       cfg.max_sim_units > 0.0 ? cfg.max_sim_units : auto_sim_bound(cfg);
+  cluster.simulator().set_event_limit(
+      cfg.max_events > 0 ? cfg.max_events : auto_event_bound(cfg));
   cluster.simulator().run_until(sim::SimTime::units(bound));
   if (progress) progress->stop();
   recovery.end_run(cluster.simulator().now().to_units());
@@ -298,6 +312,36 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     r.stalled = progress->stalled();
     r.stall_time = progress->stall_time().to_units();
     r.stall_diagnosis = progress->diagnosis();
+  }
+  if (cluster.simulator().event_limit_hit()) {
+    r.hit_event_limit = true;
+    r.event_limit_diagnosis =
+        "event limit of " + std::to_string(cluster.simulator().event_limit()) +
+        " events hit at t=" + cluster.simulator().now().to_string() +
+        " with " + std::to_string(cluster.simulator().pending_count()) +
+        " events still pending (runaway schedule?)\n";
+    for (std::size_t i = 0; i < cfg.n_nodes; ++i) {
+      r.event_limit_diagnosis += "  node " + std::to_string(i) + ": " +
+                                 (algos[i]->crashed()
+                                      ? std::string("CRASHED")
+                                      : algos[i]->debug_state()) +
+                                 "\n";
+    }
+  }
+
+  // Unified structured reports: safety first, then liveness, then backstop.
+  r.violation_reports = monitor.reports();
+  if (progress && progress->violation()) {
+    r.violation_reports.push_back(*progress->violation());
+  }
+  if (r.hit_event_limit) {
+    mutex::Violation v;
+    v.kind = mutex::Violation::Kind::kEventLimit;
+    v.time = cluster.simulator().now();
+    v.detail = "executed " +
+               std::to_string(cluster.simulator().events_executed()) +
+               " events without draining the schedule";
+    r.violation_reports.push_back(std::move(v));
   }
 
   const auto& net_stats = cluster.network().stats();

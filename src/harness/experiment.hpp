@@ -16,6 +16,7 @@
 
 #include "core/arbiter_mutex.hpp"
 #include "mutex/params.hpp"
+#include "mutex/violation.hpp"
 #include "net/reliable_transport.hpp"
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
@@ -48,6 +49,11 @@ struct ExperimentConfig {
   /// Hard wall on simulated time (liveness backstop; a healthy run drains
   /// its event queue long before this).
   double max_sim_units = 0;  ///< 0 = auto (generous bound from the load).
+  /// Hard wall on executed events.  The sim-time wall cannot catch a
+  /// schedule that spins without advancing the clock (e.g. a zero-delay
+  /// retry loop); this one can.  0 = auto (generous bound from the load);
+  /// hitting it fails the run with a per-node diagnosis.
+  std::uint64_t max_events = 0;
   bool strict_safety = false;
   DelayKind delay_kind = DelayKind::kConstant;
   /// Jitter knob for kUniform ([t_msg, t_msg+jitter)) / kExponential (mean).
@@ -156,6 +162,10 @@ class ExperimentConfigBuilder {
     cfg_.stall_threshold = units;
     return *this;
   }
+  ExperimentConfigBuilder& max_events(std::uint64_t n) {
+    cfg_.max_events = n;
+    return *this;
+  }
   ExperimentConfigBuilder& strict_safety(bool on = true) {
     cfg_.strict_safety = on;
     return *this;
@@ -227,6 +237,12 @@ struct ExperimentResult {
   bool stalled = false;                 ///< ProgressMonitor declared a stall.
   double stall_time = 0.0;
   std::string stall_diagnosis;          ///< Per-node debug_state() dump.
+  bool hit_event_limit = false;         ///< --max-events backstop fired.
+  std::string event_limit_diagnosis;    ///< Per-node dump at the cutoff.
+  /// Structured reports: safety violations first (capped at
+  /// SafetyMonitor::kMaxReports), then a starvation report if the progress
+  /// monitor stalled, then an event-limit report if the backstop fired.
+  std::vector<mutex::Violation> violation_reports;
   std::vector<std::string> fault_log;   ///< Executed campaign actions.
 
   // Fairness (§5.1).

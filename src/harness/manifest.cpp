@@ -144,6 +144,8 @@ void write_result(obs::JsonWriter& w, const ExperimentResult& r) {
   w.boolean(r.drained);
   w.key("stalled");
   w.boolean(r.stalled);
+  w.key("hit_event_limit");
+  w.boolean(r.hit_event_limit);
   w.key("aborted_by_crash");
   w.number(r.aborted_by_crash);
   w.key("faults_injected");

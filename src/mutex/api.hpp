@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -59,6 +60,15 @@ class MutexAlgorithm : public runtime::Process {
   /// richer the better; the default names only the algorithm.
   [[nodiscard]] virtual std::string debug_state() const {
     return std::string(algorithm_name()) + ": <no debug state>";
+  }
+
+  /// Does this node currently hold the (a) token?  Token-passing algorithms
+  /// override this so global checkers (src/verify/) can assert token
+  /// uniqueness: at most one live node answers true at any instant.
+  /// Algorithms with no token concept (permission-based, quorum) return
+  /// nullopt and are excluded from the invariant.
+  [[nodiscard]] virtual std::optional<bool> holds_token() const {
+    return std::nullopt;
   }
 
  protected:

@@ -51,7 +51,13 @@ void CsDriver::on_grant(const CsRequest& req) {
   granted_at_ = sim_.now();
   if (monitor_ != nullptr) monitor_->on_enter(algo_.id(), sim_.now());
   if (grant_cb_) grant_cb_(current_);
-  finish_event_ = sim_.schedule_after(t_exec_, [this] { finish(); });
+  // Tag with (node, per-node sequence): the per-node sequence is assigned in
+  // submission order, a stable identity across reordered executions (unlike
+  // the globally allocated request_id).
+  finish_event_ = sim_.schedule_after(
+      t_exec_, [this] { finish(); },
+      sim::EventTag{algo_.id().value(), sim::EventClass::kCsExit,
+                    current_.sequence});
 }
 
 void CsDriver::finish() {

@@ -1,6 +1,7 @@
 #include "mutex/progress_monitor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace dmx::mutex {
 
@@ -112,6 +113,21 @@ void ProgressMonitor::declare_stall(bool event_queue_dry) {
     }
     diagnosis_ += "\n";
   }
+  Violation v;
+  v.kind = Violation::Kind::kStarvation;
+  v.time = stall_time_;
+  for (std::size_t i = 0; i < watched_.size(); ++i) {
+    const Watched& w = watched_[i];
+    if (!w.driver->idle() && !w.algo->crashed()) {
+      v.nodes.push_back(w.algo->id());
+    }
+  }
+  v.detail = event_queue_dry
+                 ? "pending demand with a dry event queue"
+                 : "no CS completion for " +
+                       std::to_string(cfg_.stall_threshold.to_units()) +
+                       " sim units";
+  violation_ = std::move(v);
   if (cfg_.stop_simulator_on_stall) sim_.stop();
 }
 

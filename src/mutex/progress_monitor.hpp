@@ -21,10 +21,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mutex/cs_driver.hpp"
+#include "mutex/violation.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -67,6 +69,12 @@ class ProgressMonitor {
   [[nodiscard]] const std::string& diagnosis() const { return diagnosis_; }
   [[nodiscard]] std::uint64_t checks_performed() const { return checks_; }
 
+  /// Structured report of the declared stall (kStarvation), if any; the
+  /// nodes listed are the live nodes whose demand was pending.
+  [[nodiscard]] const std::optional<Violation>& violation() const {
+    return violation_;
+  }
+
  private:
   struct Watched {
     const CsDriver* driver;
@@ -89,6 +97,7 @@ class ProgressMonitor {
   sim::SimTime last_progress_;
   sim::SimTime stall_time_;
   std::string diagnosis_;
+  std::optional<Violation> violation_;
   sim::EventId next_check_;
 };
 

@@ -1,6 +1,7 @@
 #include "mutex/safety_monitor.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace dmx::mutex {
 
@@ -9,27 +10,46 @@ void SafetyMonitor::on_enter(net::NodeId node, sim::SimTime t) {
   ++occupancy_;
   if (occupancy_ > max_occupancy_) max_occupancy_ = occupancy_;
   if (occupancy_ > 1) {
-    record_violation("node " + std::to_string(node.value()) +
-                     " entered CS at t=" + t.to_string() + " while node " +
-                     std::to_string(occupant_.value()) + " was inside");
+    Violation v;
+    v.kind = Violation::Kind::kMutualExclusion;
+    v.time = t;
+    v.nodes = {occupant_, node};
+    if (v.nodes[0].value() > v.nodes[1].value()) {
+      std::swap(v.nodes[0], v.nodes[1]);
+    }
+    v.detail = "node " + std::to_string(node.value()) + " entered CS at t=" +
+               t.to_string() + " while node " +
+               std::to_string(occupant_.value()) + " was inside";
+    occupant_ = node;  // update before a possible fail-fast throw
+    record_violation(std::move(v));
+    return;
   }
   occupant_ = node;
 }
 
 void SafetyMonitor::on_exit(net::NodeId node, sim::SimTime t) {
   if (occupancy_ <= 0) {
-    record_violation("node " + std::to_string(node.value()) +
-                     " exited CS at t=" + t.to_string() +
-                     " with nobody inside");
+    Violation v;
+    v.kind = Violation::Kind::kPhantomExit;
+    v.time = t;
+    v.nodes = {node};
+    v.detail = "node " + std::to_string(node.value()) + " exited CS at t=" +
+               t.to_string() + " with nobody inside";
+    record_violation(std::move(v));
     return;
   }
   --occupancy_;
 }
 
-void SafetyMonitor::record_violation(const std::string& what) {
+void SafetyMonitor::record_violation(Violation v) {
   ++violations_;
-  if (!first_violation_) first_violation_ = what;
-  if (strict_) throw std::logic_error("mutual exclusion violated: " + what);
+  if (!first_violation_) first_violation_ = v.detail;
+  std::string described;
+  if (policy_ == Policy::kFailFast) described = v.describe();
+  if (reports_.size() < kMaxReports) reports_.push_back(std::move(v));
+  if (policy_ == Policy::kFailFast) {
+    throw std::logic_error("mutual exclusion violated: " + described);
+  }
 }
 
 }  // namespace dmx::mutex

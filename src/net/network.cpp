@@ -72,18 +72,24 @@ void Network::send(NodeId src, NodeId dst, PayloadPtr payload) {
   // duplicate one-shots are pending.
   const std::size_t copies = faults_.duplicate_copies(env);
   stats_.duplicated += copies;
+  // Deliveries are tagged with (dst, msg_id) so a scheduling controller can
+  // identify which in-flight message each pending event carries.
+  const sim::EventTag tag{env.dst.value(), sim::EventClass::kDelivery,
+                          env.msg_id};
   for (std::size_t c = 0; c < copies; ++c) {
     Envelope copy = env;
-    sim_.schedule_after(latency, [this, copy = std::move(copy)]() mutable {
-      deliver(std::move(copy));
-    });
+    sim_.schedule_after(
+        latency,
+        [this, copy = std::move(copy)]() mutable { deliver(std::move(copy)); },
+        tag);
   }
   // The original goes last among same-instant copies, but identical frames
   // are interchangeable, so delivery order (and every trace) is unchanged —
   // and the common copies==0 case moves instead of copying the envelope.
-  sim_.schedule_after(latency, [this, env = std::move(env)]() mutable {
-    deliver(std::move(env));
-  });
+  sim_.schedule_after(
+      latency,
+      [this, env = std::move(env)]() mutable { deliver(std::move(env)); },
+      tag);
 }
 
 void Network::broadcast(NodeId src, const PayloadPtr& payload) {

@@ -5,7 +5,7 @@
 
 namespace dmx::sim {
 
-EventId Simulator::schedule_at(SimTime t, Callback fn) {
+EventId Simulator::schedule_at(SimTime t, Callback fn, EventTag tag) {
   if (t < now_) {
     throw std::logic_error("Simulator::schedule_at: time is in the past");
   }
@@ -21,6 +21,9 @@ EventId Simulator::schedule_at(SimTime t, Callback fn) {
     slots_.emplace_back();
   }
   slots_[slot].fn = std::move(fn);
+  slots_[slot].time = t;
+  slots_[slot].seq = next_seq_;
+  slots_[slot].tag = tag;
   const std::uint64_t id = pack(slot, slots_[slot].gen);
   heap_.push_back(HeapEntry{t, next_seq_++, id});
   std::push_heap(heap_.begin(), heap_.end());
@@ -61,16 +64,52 @@ bool Simulator::step() {
   return true;
 }
 
+void Simulator::collect_pending(std::vector<PendingEvent>& out) const {
+  out.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const EventSlot& s = slots_[i];
+    if (!s.fn) continue;  // vacant (free-listed) slot
+    out.push_back(PendingEvent{EventId(pack(i, s.gen)), s.time, s.seq, s.tag});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+}
+
+bool Simulator::fire(EventId id) {
+  if (!pending(id)) return false;
+  const std::uint32_t slot = slot_of(id.id_);
+  const SimTime t = slots_[slot].time;
+  Callback fn = std::move(slots_[slot].fn);
+  // Vacate before running, exactly as step() does; the generation bump makes
+  // the event's heap entry stale, so skip_cancelled() drops it later.
+  free_slot(slot);
+  if (now_ < t) now_ = t;
+  ++events_executed_;
+  fn();
+  return true;
+}
+
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && step()) {
+  while (!stopped_ && !budget_exhausted() && step()) {
   }
+  if (budget_exhausted() && skip_cancelled()) event_limit_hit_ = true;
 }
 
 void Simulator::run_until(SimTime t) {
   stopped_ = false;
-  while (!stopped_ && skip_cancelled() && heap_.front().time <= t) {
+  while (!stopped_ && !budget_exhausted() && skip_cancelled() &&
+         heap_.front().time <= t) {
     step();
+  }
+  if (budget_exhausted() && skip_cancelled() && heap_.front().time <= t) {
+    // Work remained inside the window: the budget, not the horizon, ended
+    // the run.  Leave the clock at the last executed event.
+    event_limit_hit_ = true;
+    return;
   }
   // A stop() mid-run leaves the clock at the stopping event's time; only a
   // run that genuinely drained the window advances to the horizon.

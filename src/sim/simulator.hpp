@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "sim/schedule.hpp"
 #include "sim/time.hpp"
 
 namespace dmx::sim {
@@ -32,6 +33,17 @@ class EventId {
   friend class Simulator;
   constexpr explicit EventId(std::uint64_t id) : id_(id) {}
   std::uint64_t id_ = 0;
+};
+
+/// One pending event as seen by a scheduling controller: its handle, when
+/// the default schedule would fire it, its FIFO tie-break rank, and its
+/// identity tag.  Snapshot only — firing or cancelling any event invalidates
+/// previously collected views.
+struct PendingEvent {
+  EventId id;
+  SimTime time;
+  std::uint64_t seq = 0;
+  EventTag tag;
 };
 
 /// Single-threaded discrete-event simulator.
@@ -52,11 +64,22 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (must be >= now()).
-  EventId schedule_at(SimTime t, Callback fn);
+  EventId schedule_at(SimTime t, Callback fn) {
+    return schedule_at(t, std::move(fn), EventTag{});
+  }
+
+  /// Schedule `fn` at absolute time `t` with an identity tag that a
+  /// scheduling controller (collect_pending/fire) can inspect.
+  EventId schedule_at(SimTime t, Callback fn, EventTag tag);
 
   /// Schedule `fn` to run `delay` after now() (delay must be >= 0).
   EventId schedule_after(SimTime delay, Callback fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now_ + delay, std::move(fn), EventTag{});
+  }
+
+  /// Tagged variant of schedule_after.
+  EventId schedule_after(SimTime delay, Callback fn, EventTag tag) {
+    return schedule_at(now_ + delay, std::move(fn), tag);
   }
 
   /// Cancel a pending event.  Returns true if the event was still pending.
@@ -92,9 +115,34 @@ class Simulator {
   /// Number of events currently pending (excludes cancelled ones).
   [[nodiscard]] std::size_t pending_count() const { return pending_; }
 
+  /// Snapshot every pending event into `out` (cleared first), sorted by the
+  /// default firing order (time, seq).  Scheduler-seam entry point: a
+  /// controller picks one and calls fire() on it.  O(slots) scan — verify
+  /// worlds are tiny, so simplicity wins over an indexed structure.
+  void collect_pending(std::vector<PendingEvent>& out) const;
+
+  /// Fire one specific pending event *now*, out of the default order.  The
+  /// clock jumps forward to the event's scheduled time if that is later than
+  /// now() (it never goes backwards: an out-of-order choice means earlier
+  /// pending events will fire "late", which is exactly the asynchrony being
+  /// explored).  Returns false if the event is no longer pending.
+  bool fire(EventId id);
+
   /// Pre-size internal storage for an expected number of simultaneously
   /// pending events (large-N clusters reserve once instead of growing).
   void reserve(std::size_t events);
+
+  /// Hard backstop on total events executed (0 = unlimited).  run() and
+  /// run_until() stop once the budget is exhausted while work remains, and
+  /// event_limit_hit() reports it; a runaway schedule then fails with a
+  /// diagnosis instead of spinning forever.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+  [[nodiscard]] std::uint64_t event_limit() const { return event_limit_; }
+
+  /// True if a run stopped because the event budget ran out with events
+  /// still pending.
+  [[nodiscard]] bool event_limit_hit() const { return event_limit_hit_; }
 
  private:
   struct HeapEntry {
@@ -110,9 +158,14 @@ class Simulator {
 
   /// A scheduled (or recycled) callback.  `gen` counts lifetimes: it is
   /// bumped when the slot is vacated, so a stale EventId can never match.
+  /// time/seq/tag mirror the heap entry so a controller can enumerate
+  /// pending events without touching the heap.
   struct EventSlot {
     Callback fn;
     std::uint32_t gen = 0;
+    SimTime time;
+    std::uint64_t seq = 0;
+    EventTag tag;
   };
 
   static constexpr std::uint64_t pack(std::uint32_t slot, std::uint32_t gen) {
@@ -138,10 +191,17 @@ class Simulator {
   // heap is effectively empty.
   bool skip_cancelled();
 
+  /// True once the event budget is spent; used by run loops.
+  [[nodiscard]] bool budget_exhausted() const {
+    return event_limit_ != 0 && events_executed_ >= event_limit_;
+  }
+
   SimTime now_ = SimTime::zero();
   bool stopped_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  bool event_limit_hit_ = false;
   std::size_t pending_ = 0;
   std::vector<HeapEntry> heap_;
   std::vector<EventSlot> slots_;

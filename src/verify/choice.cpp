@@ -1,0 +1,44 @@
+#include "verify/choice.hpp"
+
+#include <stdexcept>
+
+namespace dmx::verify {
+
+std::string Choice::key() const {
+  std::string k;
+  if (kind == Kind::kCrash || kind == Kind::kRestart) {
+    k = "f" + std::to_string(action);
+    k += kind == Kind::kCrash ? " crash " : " restart ";
+    k += std::to_string(node);
+    return k;
+  }
+  if (kind == Kind::kDrop) k = "l" + std::to_string(action) + " ";
+  switch (klass) {
+    case sim::EventClass::kDelivery:
+      k += "d " + std::to_string(src) + ">" + std::to_string(node) + " " +
+           msg_type + " #" + std::to_string(index);
+      break;
+    case sim::EventClass::kTimer:
+      k += "t " + std::to_string(node) + " #" + std::to_string(index);
+      break;
+    case sim::EventClass::kCsExit:
+      k += "x " + std::to_string(node) + " #" + std::to_string(index);
+      break;
+    default:
+      throw std::logic_error("Choice::key: untagged event class");
+  }
+  return k;
+}
+
+bool Choice::independent_with(const Choice& other) const {
+  if (kind != Kind::kFire || other.kind != Kind::kFire) return false;
+  return node != other.node && node >= 0 && other.node >= 0;
+}
+
+bool same_choice(const Choice& a, const Choice& b) {
+  return a.kind == b.kind && a.klass == b.klass && a.node == b.node &&
+         a.src == b.src && a.index == b.index && a.action == b.action &&
+         a.msg_type == b.msg_type;
+}
+
+}  // namespace dmx::verify

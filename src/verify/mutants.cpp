@@ -1,0 +1,237 @@
+#include "verify/mutants.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mutex/api.hpp"
+#include "mutex/registry.hpp"
+#include "net/payload.hpp"
+#include "runtime/dispatch.hpp"
+
+namespace dmx::verify {
+
+namespace {
+
+struct VerifyReqMsg final : net::Msg<VerifyReqMsg> {
+  DMX_REGISTER_MESSAGE(VerifyReqMsg, "VRF-REQ");
+  std::int32_t from;
+  std::uint64_t seq;
+  VerifyReqMsg(std::int32_t f, std::uint64_t s) : from(f), seq(s) {}
+};
+
+struct VerifyTokenMsg final : net::Msg<VerifyTokenMsg> {
+  DMX_REGISTER_MESSAGE(VerifyTokenMsg, "VRF-TOKEN");
+  std::vector<std::uint64_t> ln;  ///< Last-served sequence per node.
+  explicit VerifyTokenMsg(std::vector<std::uint64_t> l) : ln(std::move(l)) {}
+  [[nodiscard]] std::size_t size_hint() const override {
+    return 8 + 8 * ln.size();
+  }
+};
+
+/// Naive broadcast token algorithm (Suzuki–Kasami shaped): REQ carries a
+/// per-node sequence number, the token carries the last-served sequence of
+/// every node, and the holder hands it to the next node (in ring order from
+/// itself) with an unserved request.  Correct without faults; the Bug enum
+/// seeds one specific defect per registered variant.
+class NaiveTokenMutex final : public mutex::MutexAlgorithm {
+ public:
+  enum class Bug : std::uint8_t {
+    kNone,
+    kTokenRegen,       ///< Fabricate a token if waiting regen_delay.
+    kReleaseAmnesia,   ///< Node 0 never passes the token after serving.
+    kAmnesiacRestart,  ///< Node 0's restart hook resurrects a token.
+  };
+
+  NaiveTokenMutex(std::size_t n_nodes, Bug bug, sim::SimTime regen_delay)
+      : n_(n_nodes), bug_(bug), regen_delay_(regen_delay), rn_(n_nodes, 0),
+        ln_(n_nodes, 0) {}
+
+  void request(const mutex::CsRequest& req) override {
+    pending_ = req;
+    if (have_token_ && !in_cs_) {
+      enter_cs();
+      return;
+    }
+    ++rn_[me()];
+    broadcast(net::make_payload<VerifyReqMsg>(id().value(), rn_[me()]));
+    if (bug_ == Bug::kTokenRegen && me() + 1 == n_ && !regen_armed_) {
+      regen_armed_ = true;
+      set_timer(regen_delay_, [this] { regenerate(); });
+    }
+  }
+
+  void release() override {
+    in_cs_ = false;
+    ln_[me()] = rn_[me()];
+    pending_.reset();
+    if (fabricated_) {
+      // The real token is still out there: quietly discard the fake one.
+      fabricated_ = false;
+      have_token_ = false;
+      return;
+    }
+    if (bug_ == Bug::kReleaseAmnesia && me() == 0) {
+      dead_token_ = true;  // parked forever; REQs are ignored from now on
+      return;
+    }
+    try_pass();
+  }
+
+  [[nodiscard]] std::string_view algorithm_name() const override {
+    switch (bug_) {
+      case Bug::kNone: return "mutant-naive-token";
+      case Bug::kTokenRegen: return "mutant-token-regen";
+      case Bug::kReleaseAmnesia: return "mutant-release-amnesia";
+      case Bug::kAmnesiacRestart: return "mutant-amnesiac-restart";
+    }
+    return "mutant";
+  }
+
+  [[nodiscard]] std::string debug_state() const override {
+    std::string out(algorithm_name());
+    out += ": token=";
+    out += have_token_ ? "yes" : "no";
+    if (dead_token_) out += ",parked-dead";
+    if (fabricated_) out += ",fabricated";
+    if (in_cs_) out += " in-cs";
+    if (pending_.has_value()) {
+      out += " pending(req " + std::to_string(pending_->request_id) + ")";
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::optional<bool> holds_token() const override {
+    return have_token_;
+  }
+
+ protected:
+  void on_start() override {
+    if (me() == 0) have_token_ = true;
+  }
+
+  void on_restart() override {
+    // Volatile protocol state is lost in the crash; the sequence arrays
+    // survive (stable storage in the modeled system).
+    have_token_ = false;
+    in_cs_ = false;
+    fabricated_ = false;
+    dead_token_ = false;
+    pending_.reset();
+    if (bug_ == Bug::kAmnesiacRestart && me() == 0) {
+      // "I started with the token, so I must still have it."  Harmless when
+      // the node died holding the (then destroyed) token; a duplicate when
+      // it died without it — reachable only through crash+restart choices.
+      have_token_ = true;
+      try_pass();
+    }
+  }
+
+  void handle(const net::Envelope& env) override {
+    static const auto kTable = [] {
+      runtime::MsgDispatcher<NaiveTokenMutex> t;
+      t.set(VerifyReqMsg::message_kind(),
+            [](NaiveTokenMutex& self, const net::Envelope& e) {
+              const auto& req = static_cast<const VerifyReqMsg&>(*e.payload);
+              auto& rn = self.rn_[static_cast<std::size_t>(req.from)];
+              rn = std::max(rn, req.seq);
+              if (self.have_token_ && !self.in_cs_ && !self.dead_token_) {
+                self.try_pass();
+              }
+            });
+      t.set(VerifyTokenMsg::message_kind(),
+            [](NaiveTokenMutex& self, const net::Envelope& e) {
+              const auto& tok =
+                  static_cast<const VerifyTokenMsg&>(*e.payload);
+              self.have_token_ = true;
+              self.ln_ = tok.ln;
+              if (self.pending_.has_value() && !self.in_cs_) {
+                self.enter_cs();
+              } else {
+                self.try_pass();
+              }
+            });
+      return t;
+    }();
+    if (!kTable.dispatch(*this, env)) {
+      throw std::logic_error("naive-token: unknown message");
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t me() const {
+    return static_cast<std::size_t>(id().value());
+  }
+
+  void enter_cs() {
+    in_cs_ = true;
+    grant(*pending_);
+  }
+
+  /// Hand the token to the nearest node (ring order from me) with an
+  /// unserved request; keep it parked here otherwise.
+  void try_pass() {
+    if (!have_token_ || in_cs_ || dead_token_) return;
+    for (std::size_t hop = 1; hop < n_; ++hop) {
+      const std::size_t j = (me() + hop) % n_;
+      if (rn_[j] == ln_[j] + 1) {
+        have_token_ = false;
+        send(net::NodeId{static_cast<std::int32_t>(j)},
+             net::make_payload<VerifyTokenMsg>(ln_));
+        return;
+      }
+    }
+  }
+
+  /// The seeded kTokenRegen defect: if this node's first request is still
+  /// unserved when the watchdog fires, it concludes the token was lost and
+  /// mints a new one — while the real token is alive elsewhere.
+  void regenerate() {
+    if (have_token_ || in_cs_ || !pending_.has_value()) return;
+    have_token_ = true;
+    fabricated_ = true;
+    enter_cs();
+  }
+
+  std::size_t n_;
+  Bug bug_;
+  sim::SimTime regen_delay_;
+  std::vector<std::uint64_t> rn_;  ///< Highest request seq heard, per node.
+  std::vector<std::uint64_t> ln_;  ///< Last served seq, per node.
+  std::optional<mutex::CsRequest> pending_;
+  bool have_token_ = false;
+  bool in_cs_ = false;
+  bool fabricated_ = false;   ///< Current token was minted by regenerate().
+  bool dead_token_ = false;   ///< kReleaseAmnesia parked the token for good.
+  bool regen_armed_ = false;  ///< The kTokenRegen watchdog is one-shot.
+};
+
+mutex::AlgorithmFactory mutant_factory(NaiveTokenMutex::Bug bug) {
+  return [bug](const mutex::FactoryContext& ctx) {
+    return std::make_unique<NaiveTokenMutex>(
+        ctx.n_nodes, bug,
+        ctx.params.get_time("regen_delay", sim::SimTime::units(0.3)));
+  };
+}
+
+}  // namespace
+
+void register_mutant_algorithms() {
+  auto& reg = mutex::Registry::instance();
+  if (reg.contains("mutant-naive-token")) return;
+  reg.add("mutant-naive-token",
+          mutant_factory(NaiveTokenMutex::Bug::kNone));
+  reg.add("mutant-token-regen",
+          mutant_factory(NaiveTokenMutex::Bug::kTokenRegen));
+  reg.add("mutant-release-amnesia",
+          mutant_factory(NaiveTokenMutex::Bug::kReleaseAmnesia));
+  reg.add("mutant-amnesiac-restart",
+          mutant_factory(NaiveTokenMutex::Bug::kAmnesiacRestart));
+}
+
+}  // namespace dmx::verify

@@ -1,0 +1,30 @@
+// Deliberately broken token algorithms: the explorer's mutation tests.
+//
+// A model checker that has never caught a bug proves nothing.  This module
+// registers a small, readable token-passing algorithm (a naive
+// Suzuki–Kasami-style broadcast scheme) in four flavours:
+//
+//   mutant-naive-token       correct control: verifies clean, fault-free
+//   mutant-token-regen       a watchdog fabricates a second token while the
+//                            real one is still out -> mutual exclusion /
+//                            token uniqueness violations
+//   mutant-release-amnesia   node 0 parks the token forever after its first
+//                            release -> starvation of every other requester
+//   mutant-amnesiac-restart  node 0 resurrects "its" token from its restart
+//                            hook even when it crashed without holding it
+//                            -> token duplication, reachable only through a
+//                            crash + restart choice sequence
+//
+// The verify test suite asserts that exploration finds each seeded bug and
+// that the recorded counterexamples replay byte-identically.
+#pragma once
+
+namespace dmx::verify {
+
+/// Registers the four mutant algorithms in mutex::Registry (idempotent).
+/// Numeric parameter "regen_delay" (default 0.3) sets the fabrication
+/// watchdog of mutant-token-regen; keep it within time_slack of a message
+/// delay or the racing timer is never an enabled choice.
+void register_mutant_algorithms();
+
+}  // namespace dmx::verify

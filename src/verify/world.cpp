@@ -1,0 +1,267 @@
+#include "verify/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "mutex/registry.hpp"
+#include "net/delay_model.hpp"
+#include "obs/tracer.hpp"
+
+namespace dmx::verify {
+
+World::World(const VerifyConfig& cfg, std::shared_ptr<obs::Sink> sink)
+    : cfg_(cfg) {
+  cfg_.check();  // also populates the algorithm registry
+  cluster_ = std::make_unique<runtime::Cluster>(
+      cfg_.n_nodes,
+      std::make_unique<net::ConstantDelay>(sim::SimTime::units(cfg_.t_msg)),
+      /*seed=*/1, sink ? obs::Tracer(std::move(sink)) : obs::Tracer());
+  cluster_->network().set_tap([this](const net::Envelope& env, bool dropped) {
+    // Sends adjudicated dead on the spot (destination already down) never
+    // become pending events, so only surviving transmissions need identity.
+    if (!dropped) record_send(env);
+  });
+  if (!cfg_.fault_plan.empty()) {
+    actions_ = fault::FaultPlan::parse(cfg_.fault_plan).actions;
+  }
+  action_done_.assign(actions_.size(), 0);
+
+  algos_.reserve(cfg_.n_nodes);
+  drivers_.reserve(cfg_.n_nodes);
+  for (std::size_t i = 0; i < cfg_.n_nodes; ++i) {
+    const net::NodeId id{static_cast<std::int32_t>(i)};
+    std::unique_ptr<mutex::MutexAlgorithm> algo =
+        mutex::Registry::instance().create(
+            cfg_.algorithm,
+            mutex::FactoryContext{id, cfg_.n_nodes, cfg_.params});
+    mutex::MutexAlgorithm* raw = algo.get();
+    auto driver = std::make_unique<mutex::CsDriver>(
+        cluster_->simulator(), *raw, sim::SimTime::units(cfg_.t_exec),
+        &monitor_, &ids_);
+    driver->set_tracer(cluster_->tracer());
+    cluster_->install(id, std::move(algo));
+    algos_.push_back(raw);
+    drivers_.push_back(std::move(driver));
+  }
+  cluster_->start();
+  // The whole closed-system demand, round-robin at t=0: surplus beyond one
+  // outstanding request per node queues inside the drivers.
+  for (std::uint64_t r = 0; r < cfg_.requests_per_node; ++r) {
+    for (auto& d : drivers_) d->submit();
+  }
+}
+
+void World::record_send(const net::Envelope& env) {
+  MsgInfo info;
+  info.src = env.src.value();
+  info.type = std::string(env.payload->fault_target().type_name());
+  std::string link = std::to_string(info.src) + ">" +
+                     std::to_string(env.dst.value()) + " " + info.type;
+  info.index = occurrence_[link]++;
+  msg_info_.emplace(env.msg_id, std::move(info));
+}
+
+std::vector<Choice> World::enabled() {
+  cluster_->simulator().collect_pending(pending_);
+  std::vector<Choice> out;
+  out.reserve(pending_.size() + actions_.size());
+  const bool bounded = cfg_.time_slack >= 0.0;
+  sim::SimTime horizon;
+  if (!pending_.empty()) {
+    // pending_ is sorted by (time, seq): front() is the earliest event.
+    horizon = pending_.front().time + sim::SimTime::units(cfg_.time_slack);
+  }
+  std::vector<std::int32_t> seen_links;
+  std::uint32_t timer_nodes = 0;
+  for (const sim::PendingEvent& ev : pending_) {
+    Choice c;
+    c.klass = ev.tag.klass;
+    c.node = ev.tag.node;
+    c.event = ev.id;
+    c.time = ev.time;
+    switch (ev.tag.klass) {
+      case sim::EventClass::kDelivery: {
+        const auto it = msg_info_.find(ev.tag.detail);
+        if (it == msg_info_.end()) {
+          throw std::logic_error("verify: pending delivery without a send "
+                                 "record (tap installed too late?)");
+        }
+        c.src = it->second.src;
+        c.msg_type = it->second.type;
+        c.index = it->second.index;
+        if (cfg_.fifo_links) {
+          // Only the oldest in-flight frame per link is eligible; younger
+          // ones stay shadowed even when the head falls outside the slack
+          // window (FIFO means they cannot overtake it).
+          const std::int32_t link = c.src * 64 + c.node;
+          if (std::find(seen_links.begin(), seen_links.end(), link) !=
+              seen_links.end()) {
+            continue;
+          }
+          seen_links.push_back(link);
+        }
+        break;
+      }
+      case sim::EventClass::kTimer: {
+        // A process's timers fire in deadline order; only its earliest is
+        // a real scheduling alternative.
+        const std::uint32_t bit = 1u << (ev.tag.node & 31);
+        if ((timer_nodes & bit) != 0) continue;
+        timer_nodes |= bit;
+        c.index = ev.tag.detail;
+        break;
+      }
+      case sim::EventClass::kCsExit:
+        c.index = ev.tag.detail;
+        break;
+      default:
+        throw std::logic_error(
+            "verify: untagged event in a verification world");
+    }
+    if (bounded && ev.time > horizon) continue;
+    out.push_back(std::move(c));
+  }
+
+  // Fault choices: each unconsumed plan action is available at every state
+  // where it applies (its t= is ignored — timing is the explorer's job).
+  const std::size_t fires = out.size();
+  for (std::size_t a = 0; a < actions_.size(); ++a) {
+    if (action_done_[a] != 0) continue;
+    const fault::FaultAction& act = actions_[a];
+    if (act.kind == fault::FaultAction::Kind::kCrash) {
+      if (!algos_[static_cast<std::size_t>(act.node)]->crashed()) {
+        Choice c;
+        c.kind = Choice::Kind::kCrash;
+        c.node = act.node;
+        c.action = static_cast<std::int32_t>(a);
+        out.push_back(std::move(c));
+      }
+    } else if (act.kind == fault::FaultAction::Kind::kRestart) {
+      if (algos_[static_cast<std::size_t>(act.node)]->crashed()) {
+        Choice c;
+        c.kind = Choice::Kind::kRestart;
+        c.node = act.node;
+        c.action = static_cast<std::int32_t>(a);
+        out.push_back(std::move(c));
+      }
+    } else {  // kLoseNext (the only other verb the config validator admits)
+      for (std::size_t i = 0; i < fires; ++i) {
+        const Choice& f = out[i];
+        if (f.klass != sim::EventClass::kDelivery) continue;
+        if (act.msg_type != "*" && f.msg_type != act.msg_type) continue;
+        if (act.src >= 0 && f.src != act.src) continue;
+        if (act.dst >= 0 && f.node != act.dst) continue;
+        Choice d = f;
+        d.kind = Choice::Kind::kDrop;
+        d.action = static_cast<std::int32_t>(a);
+        out.push_back(std::move(d));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Choice& x, const Choice& y) {
+    return x.key() < y.key();
+  });
+  return out;
+}
+
+std::optional<Choice> World::find_enabled(std::string_view key) {
+  for (Choice& c : enabled()) {
+    if (c.key() == key) return std::move(c);
+  }
+  return std::nullopt;
+}
+
+void World::apply(const Choice& c) {
+  switch (c.kind) {
+    case Choice::Kind::kFire:
+      if (!cluster_->simulator().fire(c.event)) {
+        throw std::logic_error("verify: fire() on an event no longer pending");
+      }
+      break;
+    case Choice::Kind::kDrop:
+      if (!cluster_->simulator().cancel(c.event)) {
+        throw std::logic_error("verify: drop of an event no longer pending");
+      }
+      ++cluster_->network().mutable_stats().dropped;
+      action_done_[static_cast<std::size_t>(c.action)] = 1;
+      break;
+    case Choice::Kind::kCrash:
+      cluster_->crash_node(net::NodeId{c.node});
+      drivers_[static_cast<std::size_t>(c.node)]->on_node_crashed();
+      action_done_[static_cast<std::size_t>(c.action)] = 1;
+      break;
+    case Choice::Kind::kRestart:
+      cluster_->restart_node(net::NodeId{c.node});
+      action_done_[static_cast<std::size_t>(c.action)] = 1;
+      break;
+  }
+  ++steps_;
+}
+
+std::optional<mutex::Violation> World::check() {
+  const std::vector<mutex::Violation>& reports = monitor_.reports();
+  if (consumed_reports_ < reports.size()) {
+    return reports[consumed_reports_++];
+  }
+  std::vector<net::NodeId> holders;
+  for (const mutex::MutexAlgorithm* algo : algos_) {
+    if (algo->crashed()) continue;
+    if (algo->holds_token().value_or(false)) holders.push_back(algo->id());
+  }
+  if (holders.size() > 1) {
+    mutex::Violation v;
+    v.kind = mutex::Violation::Kind::kTokenDuplicated;
+    v.time = cluster_->simulator().now();
+    v.nodes = std::move(holders);
+    v.detail = std::to_string(v.nodes.size()) +
+               " live nodes hold the token simultaneously";
+    return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<mutex::Violation> World::terminal_check() {
+  std::vector<net::NodeId> starving;
+  for (std::size_t i = 0; i < algos_.size(); ++i) {
+    if (!drivers_[i]->idle() && !algos_[i]->crashed()) {
+      starving.push_back(algos_[i]->id());
+    }
+  }
+  if (starving.empty()) return std::nullopt;
+  mutex::Violation v;
+  v.kind = mutex::Violation::Kind::kStarvation;
+  v.time = cluster_->simulator().now();
+  v.nodes = std::move(starving);
+  v.detail = "pending live demand with no enabled transition left";
+  return v;
+}
+
+bool World::quiescent() const {
+  for (const auto& d : drivers_) {
+    if (!d->idle()) return false;
+  }
+  for (const char done : action_done_) {
+    if (done == 0) return false;
+  }
+  return true;
+}
+
+std::string World::debug_dump() const {
+  std::string out;
+  for (std::size_t i = 0; i < algos_.size(); ++i) {
+    out += "  node " + std::to_string(i) + ": ";
+    out += algos_[i]->crashed() ? "CRASHED" : algos_[i]->debug_state();
+    if (!drivers_[i]->idle()) out += " [demand pending]";
+    out += "\n";
+  }
+  return out;
+}
+
+std::uint64_t World::completed() const {
+  std::uint64_t total = 0;
+  for (const auto& d : drivers_) total += d->completed();
+  return total;
+}
+
+}  // namespace dmx::verify

@@ -97,7 +97,7 @@ TEST(Raymond, TokenMovesAlongTreeEdgesOnly) {
   EXPECT_EQ(by_type.get("RY-PRIVILEGE"), 2u);
   auto* leaf = dynamic_cast<RaymondMutex*>(tb.algos[6]);
   ASSERT_NE(leaf, nullptr);
-  EXPECT_TRUE(leaf->holds_token());
+  EXPECT_TRUE(leaf->holds_token().value_or(false));
 }
 
 TEST(Raymond, RootSelfRequestIsFree) {

@@ -1,0 +1,232 @@
+// Tests for the exhaustive small-N schedule explorer (src/verify/): clean
+// algorithms verify with exact deterministic statistics, every seeded
+// mutant is caught with the designed violation kind, and counterexamples
+// round-trip through the dmx.cex.v1 format and replay byte-identically.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/sinks.hpp"
+#include "verify/counterexample.hpp"
+#include "verify/explorer.hpp"
+#include "verify/mutants.hpp"
+
+namespace dmx::verify {
+namespace {
+
+VerifyConfig base_config(const std::string& algo) {
+  VerifyConfig cfg;
+  cfg.algorithm = algo;
+  cfg.n_nodes = 3;
+  cfg.requests_per_node = 1;
+  return cfg;
+}
+
+// ------------------------------------------------- clean algorithms
+
+TEST(Explorer, ArbiterN3IsExhaustivelyClean) {
+  const VerifyResult res = explore(base_config("arbiter-tp"));
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.truncated, 0u);
+  // Exact deterministic counts: any drift means the schedule space (or the
+  // pruning) changed and the golden numbers below must be re-derived.
+  EXPECT_EQ(res.stats.schedules, 358u);
+  EXPECT_EQ(res.stats.terminal, 104u);
+  EXPECT_EQ(res.stats.sleep_blocked, 254u);
+}
+
+TEST(Explorer, SuzukiKasamiN3IsExhaustivelyClean) {
+  const VerifyResult res = explore(base_config("suzuki-kasami"));
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.schedules, 76u);
+  EXPECT_EQ(res.stats.terminal, 18u);
+}
+
+TEST(Explorer, ArbiterWithRecoverySurvivesCrashChoices) {
+  VerifyConfig cfg = base_config("arbiter-tp");
+  cfg.params.set("recovery", 1.0);
+  cfg.fault_plan = "t=0 crash 2";
+  const VerifyResult res = explore(cfg);
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.schedules, 12312u);
+}
+
+TEST(Explorer, IdenticalConfigsProduceIdenticalStats) {
+  const VerifyResult a = explore(base_config("arbiter-tp"));
+  const VerifyResult b = explore(base_config("arbiter-tp"));
+  EXPECT_EQ(a.stats.schedules, b.stats.schedules);
+  EXPECT_EQ(a.stats.transitions, b.stats.transitions);
+  EXPECT_EQ(a.stats.replayed, b.stats.replayed);
+  EXPECT_EQ(a.stats.sleep_pruned, b.stats.sleep_pruned);
+  EXPECT_EQ(a.stats.max_frontier, b.stats.max_frontier);
+  EXPECT_EQ(a.stats.max_depth_reached, b.stats.max_depth_reached);
+}
+
+// ------------------------------------------------- seeded mutants
+
+TEST(Mutants, BaseNaiveTokenIsCleanWithoutFaults) {
+  const VerifyResult res = explore(base_config("mutant-naive-token"));
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+}
+
+TEST(Mutants, TokenRegenCausesMutualExclusionViolation) {
+  const VerifyResult res = explore(base_config("mutant-token-regen"));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kMutualExclusion);
+  ASSERT_FALSE(res.counterexample.empty());
+  // The schedule that races the regeneration watchdog against the live
+  // token holder: the final choice fires node 2's regen timer.
+  EXPECT_EQ(res.counterexample.back(), "t 2 #1");
+}
+
+TEST(Mutants, ReleaseAmnesiaCausesStarvation) {
+  const VerifyResult res = explore(base_config("mutant-release-amnesia"));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kStarvation);
+  // Both remaining requesters starve once node 0 parks the token.
+  EXPECT_EQ(res.violation->nodes.size(), 2u);
+}
+
+TEST(Mutants, AmnesiacRestartIsOnlyWrongUnderCrashRestart) {
+  // Without fault choices the restart hook never runs: clean.
+  const VerifyResult clean = explore(base_config("mutant-amnesiac-restart"));
+  EXPECT_TRUE(clean.ok()) << clean.violation->describe();
+  EXPECT_TRUE(clean.stats.complete);
+
+  // With crash+restart of node 0 the resurrected token breaks safety.
+  VerifyConfig cfg = base_config("mutant-amnesiac-restart");
+  cfg.fault_plan = "t=0 crash 0; t=1 restart 0";
+  const VerifyResult res = explore(cfg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kMutualExclusion);
+}
+
+TEST(Mutants, SuzukiKasamiStarvesWhenTheTokenHolderCrashes) {
+  // Not a seeded mutant: plain Suzuki–Kasami has no crash recovery, so a
+  // crash choice that swallows the token is a genuine liveness gap the
+  // explorer must find (and the replay must reproduce).
+  VerifyConfig cfg = base_config("suzuki-kasami");
+  cfg.fault_plan = "t=0 crash 1";
+  const VerifyResult res = explore(cfg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kStarvation);
+
+  Counterexample cex;
+  cex.config = cfg;
+  cex.choices = res.counterexample;
+  const ReplayResult rep = replay(cex);
+  EXPECT_TRUE(rep.reproduced()) << rep.error;
+  EXPECT_EQ(rep.violation->kind, mutex::Violation::Kind::kStarvation);
+}
+
+// ------------------------------------------------- counterexample files
+
+TEST(Counterexamples, RoundTripThroughTextFormat) {
+  VerifyConfig cfg = base_config("mutant-amnesiac-restart");
+  cfg.fault_plan = "t=0 crash 0; t=1 restart 0";
+  cfg.params.set("regen_delay", 0.3);
+  const VerifyResult res = explore(cfg);
+  ASSERT_FALSE(res.ok());
+
+  Counterexample cex;
+  cex.config = cfg;
+  cex.violation_kind =
+      std::string(mutex::violation_kind_name(res.violation->kind));
+  cex.choices = res.counterexample;
+
+  const Counterexample back = Counterexample::parse(cex.to_string());
+  EXPECT_EQ(back.config.algorithm, cfg.algorithm);
+  EXPECT_EQ(back.config.n_nodes, cfg.n_nodes);
+  EXPECT_EQ(back.config.fault_plan, cfg.fault_plan);
+  EXPECT_EQ(back.config.t_msg, cfg.t_msg);
+  EXPECT_EQ(back.config.time_slack, cfg.time_slack);
+  EXPECT_EQ(back.config.params.get_num("regen_delay", 0.0), 0.3);
+  EXPECT_EQ(back.violation_kind, cex.violation_kind);
+  EXPECT_EQ(back.choices, cex.choices);
+  // Serialization is canonical: parse∘to_string is the identity on text.
+  EXPECT_EQ(back.to_string(), cex.to_string());
+}
+
+TEST(Counterexamples, ReplayReproducesTheViolation) {
+  const VerifyResult res = explore(base_config("mutant-token-regen"));
+  ASSERT_FALSE(res.ok());
+
+  Counterexample cex;
+  cex.config = base_config("mutant-token-regen");
+  cex.choices = res.counterexample;
+  const ReplayResult rep = replay(cex);
+  EXPECT_TRUE(rep.reproduced()) << rep.error;
+  EXPECT_EQ(rep.steps, cex.choices.size());
+  EXPECT_EQ(rep.violation->kind, res.violation->kind);
+  EXPECT_EQ(rep.violation->describe(), res.violation->describe());
+}
+
+TEST(Counterexamples, ReplayTracesAreByteIdentical) {
+  const VerifyResult res = explore(base_config("mutant-token-regen"));
+  ASSERT_FALSE(res.ok());
+  Counterexample cex;
+  cex.config = base_config("mutant-token-regen");
+  cex.choices = res.counterexample;
+
+  auto trace_once = [&cex] {
+    std::ostringstream out;
+    {
+      auto sink = obs::make_format_sink(obs::TraceFormat::kJsonl, out);
+      const ReplayResult rep = replay(cex, sink);
+      EXPECT_TRUE(rep.reproduced()) << rep.error;
+      sink->flush();
+    }
+    return out.str();
+  };
+  const std::string first = trace_once();
+  const std::string second = trace_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Counterexamples, ParserRejectsMalformedInput) {
+  EXPECT_THROW(Counterexample::parse(""), std::invalid_argument);
+  EXPECT_THROW(Counterexample::parse("dmx.cex.v1\nalgo x\n"),
+               std::invalid_argument);  // missing end
+  EXPECT_THROW(Counterexample::parse("dmx.cex.v1\nbogus 1\nend\n"),
+               std::invalid_argument);  // unknown keyword
+  EXPECT_THROW(Counterexample::parse("dmx.cex.v1\nn banana\nend\n"),
+               std::invalid_argument);  // bad integer
+  EXPECT_THROW(Counterexample::parse("dmx.cex.v1\nend\njunk\n"),
+               std::invalid_argument);  // content after end
+}
+
+TEST(Counterexamples, ReplayReportsStaleChoiceFiles) {
+  // A recorded choice that no longer matches any enabled transition must
+  // fail loudly with the step index, not silently diverge.
+  Counterexample cex;
+  cex.config = base_config("mutant-naive-token");
+  cex.choices = {"d 9>9 NO-SUCH-MSG #0"};
+  const ReplayResult rep = replay(cex);
+  EXPECT_FALSE(rep.reproduced());
+  EXPECT_NE(rep.error.find("step 0"), std::string::npos);
+}
+
+// ------------------------------------------------- config validation
+
+TEST(VerifyConfig, RejectsOutOfScopeConfigs) {
+  VerifyConfig cfg = base_config("arbiter-tp");
+  cfg.n_nodes = 5;  // exhaustive exploration is capped at 4
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+
+  cfg = base_config("no-such-algorithm");
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+
+  cfg = base_config("arbiter-tp");
+  cfg.fault_plan = "t=1 partition 0,1 | 2";  // verb outside the verify set
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmx::verify
