@@ -1,0 +1,181 @@
+// Partition campaigns: quorumless vs. quorum-guarded token regeneration
+// under a network cut, measured as first-class robustness output.
+//
+// The paper's §6 recovery regenerates the token whenever ENQUIRY finds no
+// holder — under a partition that isolates the holder, both sides can end
+// up with a live token (split brain).  The quorum guard (recovery_quorum=1,
+// DESIGN.md §13) refuses to regenerate until a strict majority has replied
+// AND every possible holder named by the freshest dispatch views is among
+// the repliers; blocked demand parks with bounded backoff until the heal.
+//
+// Each scenario runs the same cut twice — guard off, guard on — and the
+// table shows the trade both ways: the quorumless rows buy availability
+// during the cut at the price of safety violations and a second token; the
+// quorum rows keep exactly one token at the price of majority-side blocking
+// (the "blocked max" column, billed per partition group by
+// stats::RecoveryMetrics).
+//
+// DMX_BENCH_JSONL=<path> additionally writes one JSON object per row for
+// machine consumption (scripts/partition_smoke.sh validates it with jq).
+#include <fstream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Scenario {
+  const char* name;
+  const char* plan;
+  bool quorum;
+};
+
+dmx::harness::ExperimentConfig campaign_config(const Scenario& s) {
+  dmx::harness::ExperimentConfig cfg;
+  cfg.algorithm = "arbiter-tp";
+  cfg.n_nodes = 10;
+  // Long critical sections make a split brain *observable*: with two live
+  // tokens and T_exec = 1.0 the two sides' CSs overlap in wall-clock time,
+  // so the safety column shows the hazard instead of hiding it in luck.
+  cfg.t_exec = 1.0;
+  cfg.lambda = 0.05;
+  cfg.seed = 42;
+  cfg.total_requests = 1'000;
+  cfg.params.set("recovery", 1.0)
+      .set("token_timeout", 3.0)
+      .set("enquiry_timeout", 1.0)
+      .set("arbiter_timeout", 6.0)
+      .set("probe_timeout", 1.0)
+      .set("resubmit_after_misses", 1.0)
+      .set("request_retry_timeout", 5.0);
+  if (s.quorum) cfg.params.set("recovery_quorum", 1.0);
+  cfg.fault_plan = s.plan;
+  cfg.max_sim_units = 1e7;
+  return cfg;
+}
+
+std::string json_escape_free_row(const Scenario& s,
+                                 const dmx::harness::ExperimentResult& r) {
+  // All values are numeric or fixed identifiers; no escaping needed.
+  std::string line = "{\"scenario\":\"";
+  line += s.name;
+  line += "\",\"quorum\":";
+  line += s.quorum ? "1" : "0";
+  auto num = [&line](const char* key, double v) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += dmx::harness::Table::num(v, 6);
+  };
+  auto integer = [&line](const char* key, std::uint64_t v) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += std::to_string(v);
+  };
+  integer("safety_violations", r.safety_violations);
+  integer("tokens_regenerated", r.protocol.tokens_regenerated);
+  integer("arbiter_takeovers", r.protocol.arbiter_takeovers);
+  integer("quorum_blocked", r.protocol.quorum_blocked);
+  integer("quorum_reconciles", r.protocol.quorum_reconciles);
+  num("ttr_mean", r.time_to_recovery.mean());
+  num("ttr_max", r.time_to_recovery.max());
+  num("unavailability", r.unavailability);
+  num("group_blocked_max", r.group_blocked_max);
+  num("group_blocked_total", r.group_blocked_total);
+  integer("partition_groups_blocked", r.partition_groups_blocked);
+  num("messages_per_cs", r.messages_per_cs);
+  integer("completed", r.completed);
+  integer("submitted", r.submitted);
+  line += ",\"drained\":";
+  line += r.drained ? "true" : "false";
+  line += "}";
+  return line;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmx;
+  // Not bench::print_header: this campaign is a single deterministic seed
+  // with a staged cut, not a replicated sweep, so the shared
+  // requests/seeds boilerplate would misdescribe it.
+  std::cout << "\n=== Partition campaigns — quorumless vs. quorum-guarded "
+               "regeneration ===\n"
+               "Each cut runs twice: §6 as published (quorum off) and with "
+               "the\nquorum guard (recovery_quorum=1).  'blocked max' is the "
+               "worst single\npartition group's time from cut to its next "
+               "completed CS.\n(N=10, 1000 requests, seed 42, deterministic "
+               "cut at t=30, heal at t=60)\n\n";
+
+  // Cut staging for seed 42 (deterministic): by t=30 the token and the
+  // arbiter role sit inside {3,4} under this load, so the first cut
+  // isolates the holder with a 2-node minority — the split-brain shape.
+  // The second cut leaves the holder on the 8-node side; quorumless §6
+  // *still* splits the brain there, because the 2-node minority's
+  // arbiter-timeout watchdog self-elects and regenerates after silence —
+  // minority size is no protection without a quorum rule.  The evidence
+  // columns keep the staging honest: if the scenario drifts, "regens" /
+  // "parks" drop to zero and the soundness gate below fails.
+  const Scenario scenarios[] = {
+      {"holder minority, §6 quorumless", "t=30 partition 3,4|0,1,2,5,6,7,8,9; t=60 heal",
+       false},
+      {"holder minority, quorum guard", "t=30 partition 3,4|0,1,2,5,6,7,8,9; t=60 heal",
+       true},
+      {"holder majority, §6 quorumless", "t=30 partition 0,1|2,3,4,5,6,7,8,9; t=60 heal",
+       false},
+      {"holder majority, quorum guard", "t=30 partition 0,1|2,3,4,5,6,7,8,9; t=60 heal",
+       true},
+  };
+
+  const char* jsonl_path = std::getenv("DMX_BENCH_JSONL");
+  std::ofstream jsonl;
+  if (jsonl_path != nullptr) jsonl.open(jsonl_path);
+
+  harness::Table table({"scenario", "safety", "regens", "parks", "reconciles",
+                        "ttr max", "unavail", "blocked max", "msgs/cs",
+                        "drained"});
+  bool sound = true;
+  std::uint64_t quorumless_minority_violations = 0;
+  for (const Scenario& s : scenarios) {
+    const auto r = harness::run_experiment(campaign_config(s));
+    const bool minority_cut = std::string(s.plan).find("3,4|") !=
+                              std::string::npos;
+    if (s.quorum) {
+      // The guarded rows must be safe, never regenerate over a live token,
+      // and still drain after the heal.
+      sound = sound && r.safety_violations == 0 &&
+              r.protocol.tokens_regenerated == 0 && r.drained && !r.stalled;
+      if (minority_cut) sound = sound && r.protocol.quorum_blocked >= 1;
+    } else {
+      sound = sound && r.drained && !r.stalled;
+      if (minority_cut) {
+        sound = sound && r.protocol.tokens_regenerated >= 1;
+        quorumless_minority_violations = r.safety_violations;
+      }
+    }
+    table.add_row(
+        {s.name,
+         r.safety_violations == 0
+             ? "ok"
+             : harness::Table::integer(r.safety_violations) + " VIOLATIONS",
+         harness::Table::integer(r.protocol.tokens_regenerated),
+         harness::Table::integer(r.protocol.quorum_blocked),
+         harness::Table::integer(r.protocol.quorum_reconciles),
+         harness::Table::num(r.time_to_recovery.max(), 3),
+         harness::Table::num(r.unavailability, 3),
+         harness::Table::num(r.group_blocked_max, 3),
+         harness::Table::num(r.messages_per_cs, 3),
+         r.drained ? "yes" : "NO"});
+    if (jsonl.is_open()) jsonl << json_escape_free_row(s, r) << "\n";
+  }
+  table.print(std::cout);
+  std::cout << "\nThe quorumless minority cut is the documented §6 hazard: "
+            << quorumless_minority_violations
+            << " overlapping CS pair(s) while two tokens were live.\n";
+
+  // The campaign is sound when the guard rows are clean, the hazard rows
+  // actually exhibit the hazard machinery (regeneration fired), and every
+  // run drains after the heal.  The quorumless safety count is *reported*,
+  // not gated: it is the documented failure mode, not a bench failure.
+  return sound ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Partition smoke: the split-brain hazard and its quorum-guard fix, end to
+# end, on real binaries.  Run against ASan builds (the verify-smoke CI job
+# does).
+#
+#  1. Quorumless §6 regeneration under a cut IS unsafe: the N=3 partition
+#     world yields a token-duplicated counterexample (exit 1), the
+#     dmx.cex.v1 file replays to the same violation, and two replay traces
+#     are byte-identical.
+#  2. The identical world with --quorum is exhaustively clean (exit 0,
+#     exploration complete).
+#  3. bench/table_partitions runs its four-scenario campaign, exits 0
+#     (soundness gate), and the DMX_BENCH_JSONL output validates with jq:
+#     quorum rows never regenerate and never violate safety, the quorumless
+#     minority cut actually regenerates, and every run drains.
+#
+# Usage: scripts/partition_smoke.sh <path-to-dmx_verify> <path-to-table_partitions>
+set -u
+
+VERIFY="${1:?usage: partition_smoke.sh <dmx_verify> <table_partitions>}"
+BENCH="${2:?usage: partition_smoke.sh <dmx_verify> <table_partitions>}"
+if ! command -v jq > /dev/null 2>&1; then
+  echo "partition smoke: jq is required to validate the campaign JSONL" >&2
+  exit 1
+fi
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+PARTITION_WORLD=(--algo arbiter-tp --n 3 --requests 1 --slack 0 \
+                 --fault "t=0 partition 1|0,2; t=1 heal")
+
+echo "=== partition smoke: quorumless regeneration splits the brain"
+"$VERIFY" "${PARTITION_WORLD[@]}" --param recovery=1 \
+  --cex-out "$WORK/split.cex" > "$WORK/quorumless.txt" 2>&1
+status=$?
+if [ "$status" -ne 1 ] \
+   || ! grep -q "VIOLATION token-duplicated" "$WORK/quorumless.txt"; then
+  cat "$WORK/quorumless.txt"
+  echo "FAIL: quorumless partition world did not produce the documented"
+  echo "      token-duplicated counterexample (exit $status)"
+  FAILURES=$((FAILURES + 1))
+else
+  if "$VERIFY" --replay "$WORK/split.cex" \
+       --trace-out "$WORK/t1.jsonl" > /dev/null 2>&1 \
+     && "$VERIFY" --replay "$WORK/split.cex" \
+       --trace-out "$WORK/t2.jsonl" > /dev/null 2>&1 \
+     && cmp -s "$WORK/t1.jsonl" "$WORK/t2.jsonl"; then
+    echo "ok: split-brain counterexample found and replays byte-identically"
+  else
+    echo "FAIL: split-brain counterexample did not replay byte-identically"
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+echo
+
+echo "=== partition smoke: the quorum guard closes the window"
+if out=$("$VERIFY" "${PARTITION_WORLD[@]}" --quorum 2>&1) \
+   && echo "$out" | grep -q "exploration complete"; then
+  echo "$out" | sed -n '2,5p'
+  echo "ok: quorum-guarded world exhaustively clean"
+else
+  echo "$out"
+  echo "FAIL: quorum-guarded partition world violated an invariant (or capped)"
+  FAILURES=$((FAILURES + 1))
+fi
+echo
+
+echo "=== partition smoke: table_partitions campaign + JSONL validation"
+JSONL="$WORK/partitions.jsonl"
+if DMX_BENCH_JSONL="$JSONL" "$BENCH" > "$WORK/bench.txt" 2>&1; then
+  echo "ok: campaign soundness gate passed"
+else
+  cat "$WORK/bench.txt"
+  echo "FAIL: table_partitions soundness gate failed"
+  FAILURES=$((FAILURES + 1))
+fi
+check_jq() {
+  local label="$1" filter="$2"
+  if [ "$(jq -s "$filter" "$JSONL" 2>/dev/null)" = "true" ]; then
+    echo "ok: $label"
+  else
+    echo "FAIL: $label"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+if [ -s "$JSONL" ]; then
+  check_jq "four campaign rows" 'length == 4'
+  check_jq "every run drains" 'all(.drained and .completed == .submitted)'
+  check_jq "quorum rows are safe and never regenerate" \
+    '[.[] | select(.quorum == 1)]
+       | length == 2 and
+         all(.safety_violations == 0 and .tokens_regenerated == 0)'
+  check_jq "quorum guard parks during the cuts" \
+    '[.[] | select(.quorum == 1)] | all(.quorum_blocked >= 1)'
+  check_jq "quorumless minority cut regenerates over the live token" \
+    '[.[] | select(.quorum == 0 and (.scenario | contains("minority")))]
+       | all(.tokens_regenerated >= 1)'
+else
+  echo "FAIL: campaign wrote no JSONL output"
+  FAILURES=$((FAILURES + 1))
+fi
+echo
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "partition smoke: ${FAILURES} failure(s)"
+  exit 1
+fi
+echo "partition smoke: hazard reproduced, guard proven, campaign validated"

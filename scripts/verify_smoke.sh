@@ -54,6 +54,32 @@ else
 fi
 echo
 
+echo "=== verify smoke: quorum-guarded recovery matrix (crash / restart / lose-next)"
+# The quorum guard (--quorum) must stay exhaustively clean across the fault
+# matrix.  Slack 0 keeps the N=4 cells tractable; the crash+restart cell
+# exceeds the exhaustive budget at N=4 and is pinned at N=3 instead (see
+# tests/test_verify.cpp for the golden schedule counts of the cheap cells).
+run_matrix_cell() {
+  local label="$1"; shift
+  if out=$("$VERIFY" "$@" 2>&1); then
+    echo "ok: $label ($(echo "$out" | sed -n 's/^schedules explored: \([0-9]*\).*/\1 schedules/p'))"
+  else
+    echo "$out"
+    echo "FAIL: $label violated an invariant (or capped)"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+run_matrix_cell "N=4 crash" \
+  --algo arbiter-tp --n 4 --requests 1 --quorum --slack 0 \
+  --fault "t=0 crash 3"
+run_matrix_cell "N=4 lose-next PRIVILEGE" \
+  --algo arbiter-tp --n 4 --requests 1 --quorum --slack 0 \
+  --fault "t=0 lose-next PRIVILEGE"
+run_matrix_cell "N=3 crash + restart" \
+  --algo arbiter-tp --n 3 --requests 1 --quorum --slack 0 \
+  --fault "t=0 crash 1; t=1 restart 1"
+echo
+
 echo "=== verify smoke: mutant catch + counterexample replay"
 "$VERIFY" --algo mutant-token-regen --n 3 --requests 1 \
   --cex-out "$WORK/regen.cex" > "$WORK/mutant.txt" 2>&1

@@ -51,6 +51,8 @@ void ArbiterStats::merge(const ArbiterStats& o) {
   broadcast_retries += o.broadcast_retries;
   arbiter_reasserts += o.arbiter_reasserts;
   arbiter_abdications += o.arbiter_abdications;
+  quorum_blocked += o.quorum_blocked;
+  quorum_reconciles += o.quorum_reconciles;
 }
 
 ArbiterMutex::ArbiterMutex(ArbiterParams params, std::size_t n_nodes)
@@ -129,12 +131,22 @@ std::string ArbiterMutex::debug_state() const {
            ", replies " + std::to_string(replies_.size()) + "/" +
            std::to_string(enquiry_recipients_.size()) + ")";
   }
+  if (quorum_blocked_streak_ > 0) {
+    out += " quorum-parked(blocked x" +
+           std::to_string(quorum_blocked_streak_) + ")";
+  }
   return out;
 }
 
 void ArbiterMutex::on_start() {
   arbiter_ = params_.initial_arbiter;
   monitor_ = params_.monitor;
+  // The initial configuration is static knowledge: everyone knows the
+  // initial arbiter starts with the token, so the quorum guard's holder
+  // set is never empty before the first dispatch.
+  view_epoch_ = epoch_;
+  view_arbiter_ = params_.initial_arbiter;
+  view_q_.clear();
   if (id() == params_.initial_arbiter) {
     // The initial arbiter also holds the initial token (paper §2.2: node 1
     // is the arbiter and transmits the PRIVILEGE at the end of its first
@@ -169,6 +181,11 @@ void ArbiterMutex::on_restart() {
   enquiry_recipients_.clear();
   replies_.clear();
   waiting_entries_.clear();
+  // The dispatch view (view_epoch_/view_arbiter_/view_q_) survives like the
+  // arbiter_ belief: stale holder knowledge only makes the quorum guard
+  // more conservative, never less safe.
+  quorum_blocked_streak_ = 0;
+  last_regen_round_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -498,6 +515,7 @@ void ArbiterMutex::finish_dispatch_normal() {
   }
   q_sizes_.add(static_cast<double>(q_.size()));  // broadcast skips self
   arbiter_ = tail;
+  note_dispatch_view(epoch_, tail, q_);
   served_this_batch_ = false;
   if (keep_arbitership) {
     phase_ = ArbiterPhase::kAwaitingToken;
@@ -549,6 +567,7 @@ void ArbiterMutex::on_privilege(const net::Envelope&,
   epoch_ = msg.epoch;
   have_token_ = true;
   q_ = msg.q;
+  note_dispatch_view(msg.epoch, arbiter_, msg.q);
   if (params_.sequenced && !msg.last_granted.empty()) {
     for (std::size_t i = 0; i < last_granted_.size() &&
                             i < msg.last_granted.size(); ++i) {
@@ -613,6 +632,7 @@ void ArbiterMutex::arbiter_token_arrived() {
     arbiter_ = id();
   }
   cancel_timer(token_timeout_timer_);
+  clear_quorum_backoff();
   emitf(kEvTokenArrived,
         [this] {
           return "token arrived; collected=" + q_to_string(collect_q_);
@@ -658,6 +678,7 @@ void ArbiterMutex::monitor_token_visit() {
   ++stats_.new_arbiter_broadcasts;
   q_sizes_.add(static_cast<double>(q_.size()));
   arbiter_ = tail;
+  note_dispatch_view(epoch_, tail, q_);
   served_this_batch_ = false;
   note_scheduled_batch(q_);
   if (tail == id()) {
@@ -722,6 +743,7 @@ void ArbiterMutex::on_new_arbiter(const net::Envelope& env,
                                   const NewArbiterMsg& msg) {
   if (msg.epoch < epoch_) return;  // superseded by an invalidation
   epoch_ = msg.epoch;
+  note_dispatch_view(msg.epoch, msg.new_arbiter, msg.q);
   if (msg.new_arbiter != id() && is_arbiter_) {
     // Someone else claims arbitership while we believe we hold it (only
     // possible after recovery takeovers or lost broadcasts).
@@ -752,6 +774,7 @@ void ArbiterMutex::on_new_arbiter(const net::Envelope& env,
     is_arbiter_ = false;
     phase_ = ArbiterPhase::kNone;
     cancel_timer(window_timer_);
+    clear_quorum_backoff();
     for (const QEntry& e : collect_q_) {
       if (e.node != id()) {
         send(msg.new_arbiter,
@@ -886,17 +909,26 @@ void ArbiterMutex::start_invalidation() {
   waiting_entries_.clear();
   enquiry_recipients_.clear();
   std::unordered_set<net::NodeId> targets;
-  for (const QEntry& e : last_batch_q_) {
-    if (e.node != id()) targets.insert(e.node);
-  }
-  if (prev_arbiter_.valid() && prev_arbiter_ != id()) {
-    targets.insert(prev_arbiter_);
-  }
-  if (targets.empty()) {
-    // Takeover case: no known batch — ask everyone.
+  if (params_.recovery_quorum) {
+    // Quorum mode enquires the whole cluster: the majority count is over N,
+    // and any node may carry the freshest view of who could hold the token.
     for (std::size_t i = 0; i < n_; ++i) {
       const net::NodeId nid{static_cast<std::int32_t>(i)};
       if (nid != id()) targets.insert(nid);
+    }
+  } else {
+    for (const QEntry& e : last_batch_q_) {
+      if (e.node != id()) targets.insert(e.node);
+    }
+    if (prev_arbiter_.valid() && prev_arbiter_ != id()) {
+      targets.insert(prev_arbiter_);
+    }
+    if (targets.empty()) {
+      // Takeover case: no known batch — ask everyone.
+      for (std::size_t i = 0; i < n_; ++i) {
+        const net::NodeId nid{static_cast<std::int32_t>(i)};
+        if (nid != id()) targets.insert(nid);
+      }
     }
   }
   emitf(kEvRecoveryInvalidation,
@@ -933,13 +965,50 @@ void ArbiterMutex::on_enquiry(const net::Envelope& env, const EnquiryMsg& msg) {
   } else {
     reply->status = TokenStatus::kExecutedAndPassed;
   }
+  reply->view_epoch = view_epoch_;
+  reply->view_arbiter = view_arbiter_;
+  reply->view_q = view_q_;
   send(env.src, std::move(reply));
+  if (params_.recovery_quorum && have_token_ && is_arbiter_) {
+    // Heal-time reconciliation: an ENQUIRY reaching a token-holding arbiter
+    // means some other node believes arbitership is orphaned — typically a
+    // candidate on the far side of a healed partition.  Its arrival is
+    // proof the link works again; re-announce arbitership so that side
+    // repoints without replaying stale grants (our epoch rides along,
+    // superseding older beliefs).
+    ++stats_.quorum_reconciles;
+    emitf(kEvQuorumReconcile,
+          [&env] {
+            return "re-announcing arbitership to healed node " +
+                   std::to_string(env.src.value());
+          },
+          0, env.src.value());
+    auto assert_msg = net::make_payload_mut<NewArbiterMsg>();
+    assert_msg->new_arbiter = id();
+    assert_msg->counter = counter_;
+    assert_msg->monitor = monitor_;
+    assert_msg->epoch = epoch_;
+    broadcast(assert_msg);
+    ++stats_.new_arbiter_broadcasts;
+  }
 }
 
 void ArbiterMutex::on_enquiry_reply(const net::Envelope& env,
                                     const EnquiryReplyMsg& msg) {
   if (!invalidation_running_ || msg.round != enquiry_round_) {
     if (msg.status == TokenStatus::kHaveToken) {
+      if (params_.recovery_quorum && last_regen_round_ < msg.round) {
+        // Quorum mode parked that round without regenerating: the surfaced
+        // token is the genuine one, not a superseded duplicate — let it
+        // proceed instead of ordering the only token destroyed.
+        auto r = net::make_payload_mut<ResumeMsg>();
+        r->round = msg.round;
+        send(env.src, std::move(r));
+        ++stats_.resumes_sent;
+        arm_token_timeout();
+        clear_quorum_backoff();
+        return;
+      }
       // A token surfaced after we concluded loss and regenerated: it is
       // stale under the new epoch — order it discarded.
       auto inv = net::make_payload_mut<InvalidateMsg>();
@@ -950,7 +1019,11 @@ void ArbiterMutex::on_enquiry_reply(const net::Envelope& env,
     }
     return;
   }
-  replies_[env.src] = msg.status;
+  ReplyInfo& info = replies_[env.src];
+  info.status = msg.status;
+  info.view_epoch = msg.view_epoch;
+  info.view_arbiter = msg.view_arbiter;
+  info.view_q = msg.view_q;
   if (msg.status == TokenStatus::kHaveToken) {
     // Phase 2, token found: everything resumes.
     auto r = net::make_payload_mut<ResumeMsg>();
@@ -960,6 +1033,7 @@ void ArbiterMutex::on_enquiry_reply(const net::Envelope& env,
     invalidation_running_ = false;
     cancel_timer(enquiry_timer_);
     arm_token_timeout();  // keep waiting for the token to finish its route
+    clear_quorum_backoff();
     return;
   }
   if (msg.status == TokenStatus::kWaiting) {
@@ -977,10 +1051,16 @@ void ArbiterMutex::conclude_invalidation() {
   if (!invalidation_running_) return;
   invalidation_running_ = false;
   cancel_timer(enquiry_timer_);
+  if (params_.recovery_quorum && !quorum_regeneration_allowed()) {
+    park_invalidation();
+    return;
+  }
   // Phase 2, token lost: invalidate the waiting nodes' expectations and
   // regenerate the token under a new epoch, with the waiters at the front
   // of the Q-list.  Non-responders are presumed failed and excluded.
   ++epoch_;
+  last_regen_round_ = enquiry_round_;
+  clear_quorum_backoff();
   for (const QEntry& e : waiting_entries_) {
     auto inv = net::make_payload_mut<InvalidateMsg>();
     inv->round = enquiry_round_;
@@ -999,6 +1079,10 @@ void ArbiterMutex::conclude_invalidation() {
   suspended_ = false;
   q_.clear();
   last_batch_q_.clear();
+  // The regenerated token lives here until the next dispatch.
+  view_epoch_ = epoch_;
+  view_arbiter_ = id();
+  view_q_.clear();
   ++stats_.tokens_regenerated;
   emitf(kEvTokenRegenerated,
         [this] {
@@ -1012,6 +1096,103 @@ void ArbiterMutex::conclude_invalidation() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Partition-safe recovery plane (quorum mode, beyond the paper)
+// ---------------------------------------------------------------------------
+
+void ArbiterMutex::note_dispatch_view(std::uint64_t epoch, net::NodeId arb,
+                                      const QList& q) {
+  if (epoch < view_epoch_) return;
+  // An empty Q at the same epoch is a role announcement (takeover,
+  // reassert), not a dispatch: it moves no token, so it must not erase the
+  // holder knowledge carried by the last real dispatch (or the initial
+  // configuration).
+  if (epoch == view_epoch_ && q.empty()) return;
+  view_epoch_ = epoch;
+  view_arbiter_ = arb;
+  view_q_ = q;
+}
+
+bool ArbiterMutex::quorum_regeneration_allowed() const {
+  // (a) Fresh ENQUIRY-REPLYs from a strict majority of N (the candidate
+  // counts itself).  A minority partition can never pass this — that alone
+  // rules out simultaneous regeneration on both sides of a single cut.
+  if (2 * (replies_.size() + 1) <= n_) return false;
+  // (b) A majority is not sufficient: the token may sit in the minority
+  // (the classic hazard has the cut isolate the in-CS holder).  Every node
+  // the freshest views name as a possible holder — the believed arbiter
+  // and the Q-list members of each max-epoch dispatch view — must have
+  // replied it does not hold the token.  Views at older epochs describe
+  // superseded tokens and are ignored.
+  std::uint64_t max_epoch = view_epoch_;
+  for (const auto& [node, r] : replies_) {
+    max_epoch = std::max(max_epoch, r.view_epoch);
+  }
+  bool unaccounted = false;
+  auto check_holder = [&](net::NodeId h) {
+    if (h.valid() && h != id() && replies_.find(h) == replies_.end()) {
+      unaccounted = true;
+    }
+  };
+  auto scan_view = [&](std::uint64_t e, net::NodeId arb, const QList& q) {
+    if (e != max_epoch) return;
+    check_holder(arb);
+    for (const QEntry& qe : q) check_holder(qe.node);
+  };
+  scan_view(view_epoch_, view_arbiter_, view_q_);
+  for (const auto& [node, r] : replies_) {
+    scan_view(r.view_epoch, r.view_arbiter, r.view_q);
+  }
+  return !unaccounted;
+}
+
+void ArbiterMutex::park_invalidation() {
+  // Graceful degradation: no second token without the quorum's blessing.
+  // Release the round's "waiting" repliers (so a genuinely surfacing token
+  // is not stuck suspended at them), keep the collected demand, and retry
+  // the invalidation round under bounded exponential backoff — on heal the
+  // retried ENQUIRYs reach the other side and resolve the round properly.
+  ++stats_.quorum_blocked;
+  ++quorum_blocked_streak_;
+  emitf(kEvQuorumBlocked,
+        [this] {
+          return "regeneration blocked: " + std::to_string(replies_.size()) +
+                 "/" + std::to_string(n_ - 1) +
+                 " replies, quorum or holder coverage unmet (round " +
+                 std::to_string(enquiry_round_) + ")";
+        },
+        0, static_cast<std::int64_t>(enquiry_round_),
+        static_cast<double>(replies_.size()));
+  for (const auto& [node, r] : replies_) {
+    if (r.status == TokenStatus::kWaiting) {
+      auto resume = net::make_payload_mut<ResumeMsg>();
+      resume->round = enquiry_round_;
+      send(node, std::move(resume));
+      ++stats_.resumes_sent;
+    }
+  }
+  waiting_entries_.clear();
+  replies_.clear();
+  enquiry_recipients_.clear();
+  const std::uint32_t shift =
+      std::min<std::uint32_t>(quorum_blocked_streak_ - 1, 20);
+  sim::SimTime delay = params_.quorum_backoff * (std::int64_t{1} << shift);
+  if (delay > params_.quorum_backoff_cap || delay <= sim::SimTime::zero()) {
+    delay = params_.quorum_backoff_cap;
+  }
+  cancel_timer(quorum_retry_timer_);
+  quorum_retry_timer_ = set_timer(delay, [this] {
+    if (is_arbiter_ && !have_token_ && !invalidation_running_) {
+      start_invalidation();
+    }
+  });
+}
+
+void ArbiterMutex::clear_quorum_backoff() {
+  quorum_blocked_streak_ = 0;
+  cancel_timer(quorum_retry_timer_);
+}
+
 void ArbiterMutex::on_resume(const net::Envelope&, const ResumeMsg& msg) {
   if (replied_waiting_round_ == msg.round) replied_waiting_round_ = 0;
   if (!suspended_) return;
@@ -1022,6 +1203,18 @@ void ArbiterMutex::on_resume(const net::Envelope&, const ResumeMsg& msg) {
 
 void ArbiterMutex::on_invalidate(const net::Envelope&,
                                  const InvalidateMsg& msg) {
+  if (params_.recovery_quorum && msg.new_epoch <= epoch_ && have_token_) {
+    // Quorum mode: only a genuinely newer epoch may destroy a held token.
+    // A candidate that parked (no epoch bump) knows less than we do — its
+    // stale INVALIDATE must not kill the cluster's only token.  Treat it
+    // as a resume so a phase-1 freeze cannot wedge us.
+    replied_waiting_round_ = 0;
+    if (suspended_) {
+      suspended_ = false;
+      if (pending_state_ != PendingState::kInCs) process_token();
+    }
+    return;
+  }
   if (msg.new_epoch > epoch_) epoch_ = msg.new_epoch;
   replied_waiting_round_ = 0;
   if (have_token_) {

@@ -66,6 +66,9 @@ struct ArbiterStats {
   std::uint64_t broadcast_retries = 0;   ///< Last-resort REQUEST broadcasts.
   std::uint64_t arbiter_reasserts = 0;   ///< Token holder re-claimed the role.
   std::uint64_t arbiter_abdications = 0; ///< Token-less arbiter stepped down.
+  // Partition-safe recovery plane (quorum mode).
+  std::uint64_t quorum_blocked = 0;      ///< Regenerations refused (no quorum).
+  std::uint64_t quorum_reconciles = 0;   ///< Heal-time NEW-ARBITER reasserts.
 
   void merge(const ArbiterStats& o);
 };
@@ -86,6 +89,9 @@ class ArbiterMutex final : public mutex::MutexAlgorithm {
   [[nodiscard]] bool has_token() const { return have_token_; }
   [[nodiscard]] std::optional<bool> holds_token() const override {
     return have_token_;
+  }
+  [[nodiscard]] std::optional<std::uint64_t> token_epoch() const override {
+    return epoch_;
   }
   [[nodiscard]] net::NodeId known_arbiter() const { return arbiter_; }
   [[nodiscard]] net::NodeId known_monitor() const { return monitor_; }
@@ -147,6 +153,13 @@ class ArbiterMutex final : public mutex::MutexAlgorithm {
   void on_successor_silent();
   void takeover_arbitership();
 
+  // Partition-safe recovery plane (quorum mode).
+  void note_dispatch_view(std::uint64_t epoch, net::NodeId arb,
+                          const QList& q);
+  [[nodiscard]] bool quorum_regeneration_allowed() const;
+  void park_invalidation();
+  void clear_quorum_backoff();
+
   [[nodiscard]] QEntry make_own_entry() const;
   [[nodiscard]] std::uint32_t monitor_period() const;
   void dedup_batch(QList& q) const;
@@ -199,11 +212,27 @@ class ArbiterMutex final : public mutex::MutexAlgorithm {
   std::uint64_t enquiry_round_ = 0;
   std::uint64_t replied_waiting_round_ = 0;  ///< Round I told "waiting".
   std::vector<net::NodeId> enquiry_recipients_;
-  std::unordered_map<net::NodeId, TokenStatus> replies_;
+  struct ReplyInfo {
+    TokenStatus status = TokenStatus::kWaiting;
+    std::uint64_t view_epoch = 0;
+    net::NodeId view_arbiter{-1};
+    QList view_q;
+  };
+  std::unordered_map<net::NodeId, ReplyInfo> replies_;
   std::vector<QEntry> waiting_entries_;
   runtime::TimerId enquiry_timer_;
   runtime::TimerId watchdog_timer_;
   runtime::TimerId probe_timer_;
+
+  // Partition-safe recovery state (quorum mode).  The freshest dispatch
+  // view this node has witnessed: the epoch, the arbiter it elected, and
+  // the Q-list it scheduled — i.e. who could legitimately hold the token.
+  std::uint64_t view_epoch_ = 0;
+  net::NodeId view_arbiter_{-1};
+  QList view_q_;
+  std::uint64_t last_regen_round_ = 0;   ///< Round that last minted a token.
+  std::uint32_t quorum_blocked_streak_ = 0;
+  runtime::TimerId quorum_retry_timer_;
 };
 
 }  // namespace dmx::core

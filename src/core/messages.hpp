@@ -106,11 +106,21 @@ struct EnquiryReplyMsg final : net::Msg<EnquiryReplyMsg> {
   QEntry entry;  ///< The replier's pending request when status is kWaiting,
                  ///< so the arbiter can rebuild the regenerated Q-list.
 
+  // Partition-safe recovery (quorum mode): the replier's freshest dispatch
+  // view, so the candidate arbiter can compute the set of possible token
+  // holders before daring to regenerate.  Unused (zero/empty) in plain mode.
+  std::uint64_t view_epoch = 0;  ///< Highest token epoch the replier has seen.
+  net::NodeId view_arbiter{-1};  ///< Arbiter of that epoch's last dispatch.
+  QList view_q;                  ///< Q-list of that dispatch (possible holders).
+
   [[nodiscard]] std::string describe() const override {
     static constexpr std::array<const char*, 3> kNames = {
         "executed-and-passed", "have-token", "waiting"};
     return std::string("ENQUIRY-REPLY(") +
            kNames[static_cast<std::size_t>(status)] + ")";
+  }
+  [[nodiscard]] std::size_t size_hint() const override {
+    return 32 + view_q.size() * 16;
   }
 };
 

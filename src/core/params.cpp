@@ -39,6 +39,10 @@ ArbiterParams ArbiterParams::from_params(const mutex::ParamSet& p) {
   a.enquiry_timeout = p.get_time("enquiry_timeout", a.enquiry_timeout);
   a.arbiter_timeout = p.get_time("arbiter_timeout", a.arbiter_timeout);
   a.probe_timeout = p.get_time("probe_timeout", a.probe_timeout);
+  a.recovery_quorum = p.get_bool("recovery_quorum", a.recovery_quorum);
+  a.quorum_backoff = p.get_time("quorum_backoff", a.quorum_backoff);
+  a.quorum_backoff_cap =
+      p.get_time("quorum_backoff_cap", a.quorum_backoff_cap);
   return a;
 }
 

@@ -70,6 +70,21 @@ struct ArbiterParams {
   /// How long the previous arbiter waits for a PROBE-REPLY.
   sim::SimTime probe_timeout = sim::SimTime::units(1.0);
 
+  // --- partition-safe recovery (beyond the paper) ----------------------------
+  /// Quorum-guarded token regeneration: an invalidation round may mint a new
+  /// token only when (a) ENQUIRY-REPLYs arrived from a strict majority of N
+  /// and (b) every node the freshest replies name as a possible token holder
+  /// (believed arbiter and Q-list members of the max-epoch views) has replied
+  /// that it does not hold the token.  Otherwise the candidate parks: no
+  /// epoch bump, a structured obs event, and a bounded-backoff retry of the
+  /// invalidation round.  Off by default (paper-faithful §6 behavior, which
+  /// admits split brain under partition — DESIGN.md §13).
+  bool recovery_quorum = false;
+  /// Initial retry delay after a quorum-blocked invalidation round.
+  sim::SimTime quorum_backoff = sim::SimTime::units(1.0);
+  /// Backoff doubles per consecutive blocked round up to this cap.
+  sim::SimTime quorum_backoff_cap = sim::SimTime::units(8.0);
+
   /// Build from a generic ParamSet (registry/bench path); unknown keys are
   /// ignored, missing keys keep the defaults above.
   static ArbiterParams from_params(const mutex::ParamSet& p);

@@ -227,7 +227,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         [&service_hist, &cluster, &recovery](const mutex::CsRequest& req) {
           const double now = cluster.simulator().now().to_units();
           service_hist.add(now - req.issued_at.to_units());
-          recovery.on_progress(now);
+          recovery.on_progress(now, req.node.value());
         });
   }
 
@@ -242,6 +242,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     campaign->set_observer(
         [&recovery](sim::SimTime t, const fault::FaultAction& a) {
           if (a.disruptive()) recovery.on_fault(t.to_units(), a.describe());
+          if (a.kind == fault::FaultAction::Kind::kPartition) {
+            recovery.on_partition(t.to_units(), a.groups);
+          }
         });
   }
 
@@ -307,6 +310,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     r.unavailability = recovery.unavailability();
     r.unfired_targeted_drops = campaign->unfired_targeted_drops();
     r.fault_log = campaign->log();
+    for (const auto& g : recovery.partitions()) {
+      r.partition_groups_blocked += g.recovered ? 0 : 1;
+      r.group_blocked_total += g.blocked;
+    }
+    r.group_blocked_max = recovery.max_group_blocked();
   }
   if (progress) {
     r.stalled = progress->stalled();

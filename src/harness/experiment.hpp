@@ -234,6 +234,13 @@ struct ExperimentResult {
   stats::Welford time_to_recovery;      ///< Per-fault TTR samples (units).
   double unavailability = 0.0;          ///< Union of recovery windows.
   std::uint64_t unfired_targeted_drops = 0;  ///< lose-next that never matched.
+  // Partition attribution (meaningful when the plan carried partition cuts):
+  // per-group blocked time = cut until the first CS completion *by a member
+  // of that group*, so the side of a cut that cannot progress is billed
+  // separately from the cluster-wide TTR.
+  double group_blocked_max = 0.0;       ///< Worst single group (minority).
+  double group_blocked_total = 0.0;     ///< Summed over all groups and cuts.
+  std::uint64_t partition_groups_blocked = 0;  ///< Groups censored at end.
   bool stalled = false;                 ///< ProgressMonitor declared a stall.
   double stall_time = 0.0;
   std::string stall_diagnosis;          ///< Per-node debug_state() dump.

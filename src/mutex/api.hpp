@@ -71,6 +71,15 @@ class MutexAlgorithm : public runtime::Process {
     return std::nullopt;
   }
 
+  /// The generation (epoch) of the token this node holds or last saw, for
+  /// duplicate-token diagnostics: when token uniqueness is violated the
+  /// checker reports each holder's epoch, distinguishing a regenerated
+  /// second token (different epochs — the split-brain signature) from a
+  /// plain duplication bug.  nullopt when the algorithm has no epochs.
+  [[nodiscard]] virtual std::optional<std::uint64_t> token_epoch() const {
+    return std::nullopt;
+  }
+
  protected:
   /// Subclasses call this when the local node may enter its CS.  Every
   /// algorithm's grant path funnels through here, so this is the single

@@ -286,7 +286,9 @@ void ReliableEndpoint::schedule_ack(NodeId peer) {
   PeerState& ps = peer_state(peer);
   if (ps.ack_event.valid() && sim_.pending(ps.ack_event)) return;
   ps.ack_event = sim_.schedule_after(
-      cfg_.ack_delay, [this, peer] { send_standalone_ack(peer); });
+      cfg_.ack_delay, [this, peer] { send_standalone_ack(peer); },
+      sim::EventTag{self_.value(), sim::EventClass::kTimer,
+                    next_timer_id_++});
 }
 
 void ReliableEndpoint::send_standalone_ack(NodeId peer) {
@@ -305,7 +307,9 @@ void ReliableEndpoint::arm_rto(NodeId peer) {
   // breaking determinism (each endpoint owns a forked Rng).
   const sim::SimTime delay =
       ps.rto.scaled(1.0 + cfg_.jitter_frac * rng_.uniform01());
-  ps.rto_event = sim_.schedule_after(delay, [this, peer] { on_rto(peer); });
+  ps.rto_event = sim_.schedule_after(
+      delay, [this, peer] { on_rto(peer); },
+      sim::EventTag{self_.value(), sim::EventClass::kTimer, next_timer_id_++});
 }
 
 void ReliableEndpoint::on_rto(NodeId peer) {

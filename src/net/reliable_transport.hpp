@@ -253,6 +253,12 @@ class ReliableEndpoint final : public Transport, public MessageHandler {
   bool down_ = false;
   std::unordered_map<std::int32_t, PeerState> peers_;  ///< Keyed by peer id.
   TransportStats stats_;
+  /// Timer identity for controlled scheduling (src/verify/): ack and RTO
+  /// timers are tagged kTimer like process timers, but in a disjoint detail
+  /// namespace so transport and protocol timers can never share a choice
+  /// key on the same node.
+  static constexpr std::uint64_t kTimerIdBase = 1u << 20;
+  std::uint64_t next_timer_id_ = kTimerIdBase;
 };
 
 }  // namespace dmx::net

@@ -43,6 +43,17 @@ class RecoveryMetrics {
   /// A critical section completed at time t (closes all open windows).
   void on_progress(double t);
 
+  /// Node-attributed progress: closes the plain windows like on_progress(t)
+  /// AND any partition-group window whose member list contains `node`.
+  void on_progress(double t, int node);
+
+  /// A partition cut fired at time t: opens one attributed window per
+  /// group.  A group's window closes only when one of its *members*
+  /// completes a CS — so the side of the cut that cannot make progress is
+  /// billed separately from the cluster-wide TTR (which any node's
+  /// completion closes).
+  void on_partition(double t, const std::vector<std::vector<int>>& groups);
+
   /// The run ended at time t: bill still-open windows as unrecovered.
   void end_run(double t);
 
@@ -60,9 +71,24 @@ class RecoveryMetrics {
     return records_;
   }
 
+  struct PartitionRecord {
+    double at = 0.0;            ///< Cut time (sim units).
+    std::vector<int> members;   ///< Nodes in this side of the cut.
+    double blocked = 0.0;       ///< Cut -> first member CS completion.
+    bool recovered = false;     ///< False = censored at end_run.
+  };
+  [[nodiscard]] const std::vector<PartitionRecord>& partitions() const {
+    return partition_records_;
+  }
+  /// Worst per-group blocked time across all cuts (the "minority
+  /// unavailability" headline: the side that stayed dark the longest).
+  [[nodiscard]] double max_group_blocked() const;
+
  private:
   std::vector<FaultRecord> records_;
   std::vector<std::size_t> open_;  ///< Indices into records_ awaiting recovery.
+  std::vector<PartitionRecord> partition_records_;
+  std::vector<std::size_t> open_groups_;  ///< Unclosed partition records.
   double union_start_ = 0.0;       ///< Earliest open fault time.
   Welford ttr_;
   Histogram ttr_hist_;

@@ -12,6 +12,19 @@ std::string Choice::key() const {
     k += std::to_string(node);
     return k;
   }
+  if (kind == Kind::kPartition) {
+    k = "p";
+    k += std::to_string(action);
+    k += " cut ";
+    k += groups;
+    return k;
+  }
+  if (kind == Kind::kHeal) {
+    k = "h";
+    k += std::to_string(action);
+    k += " heal";
+    return k;
+  }
   if (kind == Kind::kDrop) k = "l" + std::to_string(action) + " ";
   switch (klass) {
     case sim::EventClass::kDelivery:
@@ -38,7 +51,7 @@ bool Choice::independent_with(const Choice& other) const {
 bool same_choice(const Choice& a, const Choice& b) {
   return a.kind == b.kind && a.klass == b.klass && a.node == b.node &&
          a.src == b.src && a.index == b.index && a.action == b.action &&
-         a.msg_type == b.msg_type;
+         a.msg_type == b.msg_type && a.groups == b.groups;
 }
 
 }  // namespace dmx::verify

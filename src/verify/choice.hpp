@@ -22,6 +22,8 @@ struct Choice {
     kDrop,   ///< Consume a lose-next fault choice on a pending delivery.
     kCrash,  ///< Consume a crash fault choice.
     kRestart,  ///< Consume a restart fault choice.
+    kPartition,  ///< Consume a one-shot partition-cut fault choice.
+    kHeal,       ///< Consume a one-shot heal fault choice.
   };
 
   Kind kind = Kind::kFire;
@@ -38,15 +40,21 @@ struct Choice {
   /// process-local timer id (kTimer), or the per-node CS sequence (kCsExit).
   std::uint64_t index = 0;
 
-  /// Fault-plan action index backing a kDrop / kCrash / kRestart choice.
+  /// Fault-plan action index backing a kDrop / kCrash / kRestart /
+  /// kPartition / kHeal choice.
   std::int32_t action = -1;
+
+  /// Partition groups rendered as "0,1|2" (kPartition only); part of the
+  /// choice identity so distinct cuts of the same action never alias.
+  std::string groups;
 
   // --- transient, valid only in the execution that produced the choice ---
   sim::EventId event;   ///< The pending event a kFire / kDrop acts on.
   sim::SimTime time;    ///< Its scheduled firing time.
 
   /// Canonical identity key: "d 1>0 REQUEST #2", "t 2 #3", "x 0 #1",
-  /// "f0 crash 1", "l1 d 0>2 VRF-TOKEN #1".  Equal keys = same transition.
+  /// "f0 crash 1", "l1 d 0>2 VRF-TOKEN #1", "p0 cut 0,1|2", "h1 heal".
+  /// Equal keys = same transition.
   [[nodiscard]] std::string key() const;
 
   /// Two choices commute: executing them in either order from a state where

@@ -52,11 +52,27 @@ std::vector<std::string> VerifyConfig::validate() const {
                                act.msg_type + "\"");
             }
             break;
+          case fault::FaultAction::Kind::kPartition:
+            if (act.groups.empty()) {
+              errors.emplace_back("partition action has no groups");
+            }
+            for (const auto& group : act.groups) {
+              for (const int n : group) {
+                if (n < 0 || static_cast<std::size_t>(n) >= n_nodes) {
+                  errors.push_back("partition group names node " +
+                                   std::to_string(n) +
+                                   " outside the cluster");
+                }
+              }
+            }
+            break;
+          case fault::FaultAction::Kind::kHeal:
+            break;
           default:
             errors.push_back(
                 "fault plan action \"" + act.describe() +
-                "\": only crash, restart and lose-next become explorable "
-                "choices");
+                "\": only crash, restart, lose-next, partition and heal "
+                "become explorable choices");
             break;
         }
       }

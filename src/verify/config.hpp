@@ -26,9 +26,10 @@ struct VerifyConfig {
   mutex::ParamSet params;             ///< Algorithm parameters.
 
   /// Fault-plan spec (fault/fault_plan.hpp grammar).  Only the crash,
-  /// restart and lose-next verbs are allowed; the t= times are parsed but
-  /// ignored — each action becomes an always-available *choice* the
-  /// explorer may take at any reachable state (or never).
+  /// restart, lose-next, partition and heal verbs are allowed; the t= times
+  /// are parsed but ignored — each action becomes an always-available
+  /// *choice* the explorer may take at any reachable state (or never; a
+  /// heal choice is enabled only while a cut is in force).
   std::string fault_plan;
 
   /// Time-window abstraction: a pending event is an enabled choice iff its
@@ -44,6 +45,12 @@ struct VerifyConfig {
   /// harness runs (which never reorders a link); turn off to explore
   /// per-link reordering too.
   bool fifo_links = true;
+
+  /// Run every node behind the reliable transport (acks, retransmission,
+  /// exactly-once in-order delivery) with jitter disabled, so lose-next
+  /// choices attack transport frames and the explorer proves the
+  /// reliability layer itself — not the protocol's own loss tolerance.
+  bool reliable = false;
 
   std::size_t max_depth = 48;         ///< Truncate schedules beyond this.
   std::uint64_t max_schedules = 2'000'000;  ///< Exploration budget.

@@ -50,6 +50,7 @@ std::string Counterexample::to_string() const {
   out += "t_exec " + fmt_double(config.t_exec) + "\n";
   out += "slack " + fmt_double(config.time_slack) + "\n";
   out += "fifo " + std::string(config.fifo_links ? "1" : "0") + "\n";
+  if (config.reliable) out += "reliable 1\n";
   out += "depth " + std::to_string(config.max_depth) + "\n";
   for (const auto& [key, value] : config.params.nums()) {
     out += "param " + key + " " + fmt_double(value) + "\n";
@@ -111,6 +112,8 @@ Counterexample Counterexample::parse(std::string_view text) {
       cex.config.time_slack = parse_double(rest, line);
     } else if (kw == "fifo") {
       cex.config.fifo_links = parse_u64(rest, line) != 0;
+    } else if (kw == "reliable") {
+      cex.config.reliable = parse_u64(rest, line) != 0;
     } else if (kw == "depth") {
       cex.config.max_depth = parse_u64(rest, line);
     } else if (kw == "param") {

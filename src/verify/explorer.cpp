@@ -46,8 +46,13 @@ VerifyResult explore(const VerifyConfig& cfg) {
 
   while (true) {
     // ---- one execution: rebuild the committed prefix statelessly ----
+    // The last frame holds the branch's freshly selected sibling, which has
+    // never been executed: a violation there is a genuine finding.  A
+    // violation at any earlier frame re-executes a choice that was clean
+    // the first time, which can only mean the world is nondeterministic.
     World world(cfg);
-    for (const Frame& f : stack) {
+    for (std::size_t depth = 0; depth < stack.size(); ++depth) {
+      const Frame& f = stack[depth];
       std::optional<Choice> c = world.find_enabled(f.enabled[f.chosen].key());
       if (!c.has_value()) {
         throw std::logic_error(
@@ -56,9 +61,19 @@ VerifyResult explore(const VerifyConfig& cfg) {
       }
       world.apply(*c);
       ++res.stats.replayed;
-      if (world.check().has_value()) {
-        throw std::logic_error(
-            "verify: a violation appeared while replaying a clean prefix");
+      if (std::optional<mutex::Violation> v = world.check()) {
+        if (depth + 1 == stack.size()) {
+          ++res.stats.schedules;
+          res.violation = std::move(v);
+          res.counterexample = path_keys();
+          res.diagnosis = world.debug_dump();
+          return res;
+        }
+        std::string msg =
+            "verify: a violation appeared while replaying a clean prefix: " +
+            v->describe() + "\nprefix:";
+        for (const std::string& k : path_keys()) msg += "\n  " + k;
+        throw std::logic_error(msg);
       }
     }
     // Sleep set inherited by the state the prefix just reached: siblings

@@ -10,6 +10,23 @@
 
 namespace dmx::verify {
 
+namespace {
+
+// Canonical "0,1|2" rendering of partition groups for choice identity.
+std::string groups_key(const std::vector<std::vector<int>>& groups) {
+  std::string out;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (g > 0) out += "|";
+    for (std::size_t i = 0; i < groups[g].size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(groups[g][i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 World::World(const VerifyConfig& cfg, std::shared_ptr<obs::Sink> sink)
     : cfg_(cfg) {
   cfg_.check();  // also populates the algorithm registry
@@ -22,6 +39,12 @@ World::World(const VerifyConfig& cfg, std::shared_ptr<obs::Sink> sink)
     // become pending events, so only surviving transmissions need identity.
     if (!dropped) record_send(env);
   });
+  if (cfg_.reliable) {
+    auto tc = net::ReliableTransportConfig::scaled_to(
+        sim::SimTime::units(cfg_.t_msg));
+    tc.jitter_frac = 0.0;  // keep the timer schedule seed-free
+    cluster_->use_reliable_transport(tc);
+  }
   if (!cfg_.fault_plan.empty()) {
     actions_ = fault::FaultPlan::parse(cfg_.fault_plan).actions;
   }
@@ -145,6 +168,24 @@ std::vector<Choice> World::enabled() {
         c.action = static_cast<std::int32_t>(a);
         out.push_back(std::move(c));
       }
+    } else if (act.kind == fault::FaultAction::Kind::kPartition) {
+      // A cut is a real scheduling alternative at any un-partitioned state;
+      // in-flight messages keep their delivery events (a cut severs links,
+      // not packets already in the air).
+      if (!cluster_->network().faults().partitioned()) {
+        Choice c;
+        c.kind = Choice::Kind::kPartition;
+        c.action = static_cast<std::int32_t>(a);
+        c.groups = groups_key(act.groups);
+        out.push_back(std::move(c));
+      }
+    } else if (act.kind == fault::FaultAction::Kind::kHeal) {
+      if (cluster_->network().faults().partitioned()) {
+        Choice c;
+        c.kind = Choice::Kind::kHeal;
+        c.action = static_cast<std::int32_t>(a);
+        out.push_back(std::move(c));
+      }
     } else {  // kLoseNext (the only other verb the config validator admits)
       for (std::size_t i = 0; i < fires; ++i) {
         const Choice& f = out[i];
@@ -195,6 +236,24 @@ void World::apply(const Choice& c) {
       cluster_->restart_node(net::NodeId{c.node});
       action_done_[static_cast<std::size_t>(c.action)] = 1;
       break;
+    case Choice::Kind::kPartition: {
+      const fault::FaultAction& act =
+          actions_[static_cast<std::size_t>(c.action)];
+      std::vector<std::vector<net::NodeId>> groups;
+      groups.reserve(act.groups.size());
+      for (const auto& group : act.groups) {
+        std::vector<net::NodeId>& g = groups.emplace_back();
+        g.reserve(group.size());
+        for (int n : group) g.push_back(net::NodeId{n});
+      }
+      cluster_->network().faults().set_partition(std::move(groups));
+      action_done_[static_cast<std::size_t>(c.action)] = 1;
+      break;
+    }
+    case Choice::Kind::kHeal:
+      cluster_->network().faults().heal_partition();
+      action_done_[static_cast<std::size_t>(c.action)] = 1;
+      break;
   }
   ++steps_;
 }
@@ -216,6 +275,17 @@ std::optional<mutex::Violation> World::check() {
     v.nodes = std::move(holders);
     v.detail = std::to_string(v.nodes.size()) +
                " live nodes hold the token simultaneously";
+    // Epochs tell a regenerated second token (different epochs — the
+    // split-brain signature) from a plain duplication bug (same epoch).
+    std::string epochs;
+    for (const net::NodeId h : v.nodes) {
+      const auto e = algos_[static_cast<std::size_t>(h.index())]->token_epoch();
+      if (!e.has_value()) continue;
+      if (!epochs.empty()) epochs += ", ";
+      epochs +=
+          "node " + std::to_string(h.value()) + " epoch " + std::to_string(*e);
+    }
+    if (!epochs.empty()) v.detail += " (" + epochs + ")";
     return v;
   }
   return std::nullopt;

@@ -96,5 +96,36 @@ TEST(Partitions, SplitBrainHazardOfQuorumlessRegeneration) {
   // discarded and the run drains under a single token.
 }
 
+// Companion to the hazard above: the identical deterministic schedule with
+// quorum-guarded regeneration (recovery_quorum=1) never mints the second
+// token.  The majority side reaches a counting majority (3 of 5) during the
+// cut, but the freshest dispatch views still name the isolated holder, so
+// every invalidation round parks until the heal lets the holder answer.
+// The price is availability — majority demand waits out the partition —
+// which bench/table_partitions quantifies.
+TEST(Partitions, QuorumGuardClosesTheSplitBrainWindow) {
+  mutex::ParamSet params = partition_params();
+  params.set("recovery_quorum", 1.0);
+  testbed::MutexCluster tb("arbiter-tp", 5, params,
+                           /*t_msg=*/0.1, /*t_exec=*/1.0);
+  tb.submit_at(0.0, 4);   // token into the {3,4} side
+  split_at(tb, 2.0);
+  tb.submit_at(3.0, 0);   // majority demand -> takeover attempt -> parked
+  tb.submit_at(3.5, 1);
+  tb.submit_at(4.0, 3);   // minority keeps the genuine token busy
+  tb.submit_at(8.0, 3);
+  tb.submit_at(9.2, 4);   // overlapped with the second token in the hazard
+  heal_at(tb, 30.0);
+  tb.sim().run_until(sim::SimTime::units(200.0));
+  EXPECT_EQ(tb.total_completed(), tb.total_submitted());  // liveness holds
+  EXPECT_EQ(tb.monitor.violations(), 0u);  // the hazard is gone
+  const auto s = tb.protocol_stats();
+  EXPECT_EQ(s.tokens_regenerated, 0u);  // the genuine token was never forked
+  EXPECT_GE(s.quorum_blocked, 1u);      // the guard actually fired
+  // After the heal the holder answers the candidate's ENQUIRY with a
+  // NEW-ARBITER reassert, folding the majority back under its epoch.
+  EXPECT_GE(s.quorum_reconciles, 1u);
+}
+
 }  // namespace
 }  // namespace dmx::core

@@ -181,7 +181,9 @@ TEST_P(ArbiterAcrossN, HeavyLoadMatchesEq4) {
 INSTANTIATE_TEST_SUITE_P(Sizes, ArbiterAcrossN,
                          ::testing::Values<std::size_t>(1, 2, 3, 5, 10, 25),
                          [](const ::testing::TestParamInfo<std::size_t>& i) {
-                           return "N" + std::to_string(i.param);
+                           std::string name = "N";
+                           name += std::to_string(i.param);
+                           return name;
                          });
 
 // Delay-model robustness: the algorithm stays safe and live under jittered

@@ -213,6 +213,124 @@ TEST(Counterexamples, ReplayReportsStaleChoiceFiles) {
   EXPECT_NE(rep.error.find("step 0"), std::string::npos);
 }
 
+// ------------------------------------------------- partition-safe recovery
+//
+// The two directions of the quorum-guard claim, on the same world: one cut
+// that isolates the token holder (node 1 after the first dispatch) plus one
+// heal, explored exhaustively at slack 0.
+//
+// All schedule counts below are golden: any drift means the schedule space
+// (or the pruning) changed and the numbers must be re-derived.
+
+VerifyConfig partition_config(bool quorum) {
+  VerifyConfig cfg = base_config("arbiter-tp");
+  cfg.params.set("recovery", 1.0);
+  if (quorum) cfg.params.set("recovery_quorum", 1.0);
+  cfg.fault_plan = "t=0 partition 1|0,2; t=1 heal";
+  cfg.time_slack = 0.0;
+  return cfg;
+}
+
+TEST(Partition, QuorumGuardedRegenerationIsExhaustivelySafe) {
+  const VerifyResult res = explore(partition_config(/*quorum=*/true));
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.schedules, 183961u);
+  EXPECT_EQ(res.stats.terminal, 39414u);
+  EXPECT_EQ(res.stats.truncated, 19679u);
+  EXPECT_EQ(res.stats.sleep_blocked, 124868u);
+}
+
+TEST(Partition, QuorumlessRegenerationSplitBrainCounterexample) {
+  // Positive control: the same world without the quorum guard regenerates
+  // on both sides of the cut and the explorer catches two live tokens.
+  const VerifyResult res = explore(partition_config(/*quorum=*/false));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kTokenDuplicated);
+  EXPECT_EQ(res.violation->nodes.size(), 2u);
+  EXPECT_NE(res.violation->detail.find("epoch"), std::string::npos)
+      << res.violation->detail;
+  EXPECT_EQ(res.stats.schedules, 363u);
+
+  // The split-brain schedule round-trips through dmx.cex.v1 and replays.
+  Counterexample cex;
+  cex.config = partition_config(/*quorum=*/false);
+  cex.violation_kind =
+      std::string(mutex::violation_kind_name(res.violation->kind));
+  cex.choices = res.counterexample;
+  const Counterexample back = Counterexample::parse(cex.to_string());
+  EXPECT_EQ(back.config.fault_plan, cex.config.fault_plan);
+  EXPECT_EQ(back.choices, cex.choices);
+  const ReplayResult rep = replay(back);
+  EXPECT_TRUE(rep.reproduced()) << rep.error;
+  EXPECT_EQ(rep.violation->kind, mutex::Violation::Kind::kTokenDuplicated);
+}
+
+// Recovery matrix over the quorum-guarded arbiter: crash-and-restart and
+// adversarial token loss, with the guard active, stay exhaustively clean.
+// (The N=4 crash cell runs in scripts/verify_smoke.sh: complete at 830220
+// schedules, but too slow for the unit suite.)
+
+TEST(Partition, QuorumGuardSurvivesCrashRestartChoices) {
+  VerifyConfig cfg = base_config("arbiter-tp");
+  cfg.params.set("recovery", 1.0).set("recovery_quorum", 1.0);
+  cfg.fault_plan = "t=0 crash 1; t=1 restart 1";
+  cfg.time_slack = 0.0;
+  const VerifyResult res = explore(cfg);
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.schedules, 123686u);
+  EXPECT_EQ(res.stats.terminal, 40732u);
+}
+
+TEST(Partition, QuorumGuardSurvivesTokenLossAtN4) {
+  VerifyConfig cfg = base_config("arbiter-tp");
+  cfg.n_nodes = 4;
+  cfg.params.set("recovery", 1.0).set("recovery_quorum", 1.0);
+  cfg.fault_plan = "t=0 lose-next PRIVILEGE";
+  cfg.time_slack = 0.0;
+  const VerifyResult res = explore(cfg);
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.schedules, 80569u);
+  EXPECT_EQ(res.stats.terminal, 18906u);
+  EXPECT_EQ(res.stats.truncated, 0u);
+}
+
+// ------------------------------------------------- reliable transport
+//
+// With cfg.reliable the nodes run behind the retransmitting transport
+// (jitter off), so a lose-next choice attacks the transport frame carrying
+// the named protocol message — exactly-once delivery must absorb the drop
+// wherever the explorer places it, with no recovery machinery enabled.
+
+TEST(ReliableTransport, ExactlyOnceSurvivesAdversarialDropPlacement) {
+  VerifyConfig cfg = base_config("arbiter-tp");
+  cfg.reliable = true;
+  cfg.time_slack = 0.0;
+
+  cfg.fault_plan = "t=0 lose-next REQUEST";
+  const VerifyResult req = explore(cfg);
+  EXPECT_TRUE(req.ok()) << req.violation->describe();
+  EXPECT_TRUE(req.stats.complete);
+  EXPECT_EQ(req.stats.schedules, 2030u);
+  EXPECT_EQ(req.stats.truncated, 0u);
+
+  cfg.fault_plan = "t=0 lose-next RT-ACK";  // attack the ack path itself
+  const VerifyResult ack = explore(cfg);
+  EXPECT_TRUE(ack.ok()) << ack.violation->describe();
+  EXPECT_TRUE(ack.stats.complete);
+  EXPECT_EQ(ack.stats.schedules, 2918u);
+
+  // The reliable flag is part of counterexample identity.
+  Counterexample cex;
+  cex.config = cfg;
+  cex.choices = {"t 0 #1"};
+  const Counterexample back = Counterexample::parse(cex.to_string());
+  EXPECT_TRUE(back.config.reliable);
+  EXPECT_EQ(back.to_string(), cex.to_string());
+}
+
 // ------------------------------------------------- config validation
 
 TEST(VerifyConfig, RejectsOutOfScopeConfigs) {
@@ -224,8 +342,18 @@ TEST(VerifyConfig, RejectsOutOfScopeConfigs) {
   EXPECT_THROW(cfg.check(), std::invalid_argument);
 
   cfg = base_config("arbiter-tp");
-  cfg.fault_plan = "t=1 partition 0,1 | 2";  // verb outside the verify set
+  cfg.fault_plan = "t=1 loss PRIVILEGE=0.5";  // verb outside the verify set
   EXPECT_THROW(cfg.check(), std::invalid_argument);
+
+  cfg = base_config("arbiter-tp");
+  cfg.fault_plan = "t=1 partition 0,1|5";  // group names node outside cluster
+  EXPECT_THROW(cfg.check(), std::invalid_argument);
+
+  // Partition and heal are inside the verify set since the partition-safe
+  // recovery work: a well-formed cut must be accepted.
+  cfg = base_config("arbiter-tp");
+  cfg.fault_plan = "t=1 partition 0,1|2; t=2 heal";
+  EXPECT_NO_THROW(cfg.check());
 }
 
 }  // namespace

@@ -48,7 +48,12 @@ const char kUsage[] =
     "  --t-msg X            constant message delay (default 0.1)\n"
     "  --t-exec X           CS hold time (default 0.1)\n"
     "  --param key=value    algorithm parameter (repeatable)\n"
-    "  --fault \"SPEC\"       crash/restart/lose-next choices; t= is ignored\n"
+    "  --fault \"SPEC\"       crash/restart/lose-next/partition/heal choices;\n"
+    "                       t= is ignored\n"
+    "  --quorum             shorthand for --param recovery=1 --param\n"
+    "                       recovery_quorum=1 (partition-safe regeneration)\n"
+    "  --reliable           run nodes behind the reliable transport (jitter\n"
+    "                       off); lose-next then attacks transport frames\n"
     "  --slack X            enabled-window width in time units; < 0 explores\n"
     "                       full asynchrony (default 0.25)\n"
     "  --no-fifo            also explore per-link message reordering\n"
@@ -58,7 +63,7 @@ const char kUsage[] =
     "  --replay FILE        replay a dmx.cex.v1 file instead of exploring\n"
     "  --trace-out FILE     structured trace of the replayed execution\n"
     "  --trace-format FMT   jsonl | chrome | text (default jsonl)\n"
-    "  --list               list registered algorithms and exit\n"
+    "  --list               list algorithms and choice-key families, exit\n"
     "  --help               this text\n";
 
 double parse_double(const std::string& v, const std::string& flag) {
@@ -109,6 +114,10 @@ Options parse_args(const std::vector<std::string>& args) {
                        parse_double(kv.substr(eq + 1), a));
     } else if (a == "--fault") {
       o.cfg.fault_plan = need(i, a);
+    } else if (a == "--quorum") {
+      o.cfg.params.set("recovery", 1.0).set("recovery_quorum", 1.0);
+    } else if (a == "--reliable") {
+      o.cfg.reliable = true;
     } else if (a == "--slack") {
       o.cfg.time_slack = parse_double(need(i, a), a);
     } else if (a == "--no-fifo") {
@@ -253,9 +262,21 @@ int main(int argc, char** argv) {
     if (o.list) {
       dmx::verify::VerifyConfig probe;  // registration side effect
       (void)probe.validate();
+      std::cout << "algorithms:\n";
       for (const auto& name : dmx::mutex::Registry::instance().names()) {
-        std::cout << name << "\n";
+        std::cout << "  " << name << "\n";
       }
+      std::cout
+          << "choice-key families (counterexample steps):\n"
+             "  d SRC>DST TYPE #I   deliver in-flight message (FIFO head)\n"
+             "  t NODE #I           fire a pending timer on NODE\n"
+             "  x NODE #I           NODE exits its critical section\n"
+             "  fN crash NODE       fault-plan action N crashes NODE\n"
+             "  fN restart NODE     fault-plan action N restarts NODE\n"
+             "  lN d SRC>DST ...    fault-plan action N drops that delivery\n"
+             "  pN cut G0|G1|...    fault-plan action N cuts the network into\n"
+             "                      groups (e.g. \"p0 cut 0,1|2\")\n"
+             "  hN heal             fault-plan action N heals the active cut\n";
       return 0;
     }
     if (!o.replay_file.empty()) return run_replay(o);
