@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "harness/lock_service.hpp"
 #include "harness/manifest.hpp"
 #include "harness/parallel.hpp"
 #include "harness/table.hpp"
@@ -70,6 +71,132 @@ std::pair<std::string, std::string> split_kv(const std::string& flag,
   return {value.substr(0, eq), value.substr(eq + 1)};
 }
 
+/// The sharded lock-service branch of run_cli (--resources > 1): one
+/// scenario run instead of a lambda×seed sweep.  --requests is the
+/// aggregate demand, Zipf-split per shard; the table reports per-shard
+/// SLOs (p99 time-to-grant, Jain fairness) for the hottest shards plus
+/// service-wide aggregates, and --emit-json embeds the full per-shard
+/// scorecard in the dmx.run.v1 manifest's lock_service block.
+int run_lock_service_cli(const CliOptions& opts, std::ostream& os,
+                         std::shared_ptr<obs::Sink> trace_sink) {
+  // The scenario knobs ride the standard ExperimentConfig so the manifest
+  // record is self-describing and validation is uniform.
+  ExperimentConfig cfg;
+  cfg.algorithm = opts.shard_algo_hot;
+  cfg.n_nodes = opts.n_nodes;
+  cfg.lambda = opts.lambdas.front();
+  cfg.total_requests = opts.requests;
+  cfg.t_msg = opts.t_msg;
+  cfg.t_exec = opts.t_exec;
+  cfg.params = opts.params;
+  cfg.jobs = opts.jobs;
+  cfg.n_resources = opts.n_resources;
+  cfg.zipf_s = opts.zipf_s;
+  cfg.shard_algo_hot = opts.shard_algo_hot;
+  cfg.shard_algo_cold = opts.shard_algo_cold;
+  {
+    const std::vector<std::string> errors = cfg.validate();
+    if (!errors.empty()) {
+      os << "invalid configuration:\n";
+      for (const std::string& e : errors) os << "  - " << e << "\n";
+      return 2;
+    }
+  }
+
+  LockServiceConfig ls;
+  ls.n_resources = opts.n_resources;
+  ls.zipf_s = opts.zipf_s;
+  ls.total_demands = opts.requests;
+  ls.hot_algorithm = opts.shard_algo_hot;
+  ls.cold_algorithm = opts.shard_algo_cold;
+  ls.hot_nodes = opts.n_nodes;
+  ls.cold_nodes = std::max<std::size_t>(2, opts.n_nodes / 2);
+  ls.t_msg = opts.t_msg;
+  ls.t_exec = opts.t_exec;
+  ls.think_mean = 1.0 / opts.lambdas.front();
+  ls.batch_size = opts.batch;
+  ls.params = opts.params;
+  ls.seed = seed_schedule(cfg, 0);
+  ls.jobs = opts.jobs;
+  ls.trace_sink = std::move(trace_sink);
+  ls.trace_shard = 0;  // the Zipf-hottest resource
+
+  const LockServiceReport report = run_lock_service(ls);
+
+  os << "lock service: " << opts.n_resources << " resources  zipf_s="
+     << Table::num(opts.zipf_s, 2) << "  demand=" << opts.requests
+     << "  hot=" << opts.shard_algo_hot << "/" << opts.n_nodes
+     << "  cold=" << opts.shard_algo_cold << "/" << ls.cold_nodes
+     << "  batch=" << opts.batch << "\n";
+
+  // Shards sorted hottest-first for the report; CSV mode emits every shard,
+  // the pretty table the head of the ranking.
+  std::vector<const ShardResult*> ranked;
+  ranked.reserve(report.shards.size());
+  for (const ShardResult& s : report.shards) ranked.push_back(&s);
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ShardResult* a, const ShardResult* b) {
+                     return a->demand > b->demand;
+                   });
+  const std::size_t shown =
+      opts.csv ? ranked.size() : std::min<std::size_t>(ranked.size(), 10);
+  Table table({"shard", "algo", "class", "clients", "demand", "completed",
+               "msgs/cs", "grant p50", "grant p99", "fairness", "safety",
+               "drained"});
+  for (std::size_t k = 0; k < shown; ++k) {
+    const ShardResult& s = *ranked[k];
+    table.add_row({Table::integer(s.resource), s.algorithm,
+                   s.hot ? "hot" : "cold", Table::integer(s.nodes),
+                   Table::integer(s.demand), Table::integer(s.completed),
+                   Table::num(s.messages_per_cs, 3),
+                   Table::num(s.grant_p50, 3), Table::num(s.grant_p99, 3),
+                   Table::num(s.fairness, 4),
+                   s.safety_violations == 0 ? "ok" : "VIOLATED",
+                   s.drained ? "yes" : "NO"});
+  }
+  if (opts.csv) {
+    table.print_csv(os);
+  } else {
+    table.print(os);
+    if (shown < ranked.size()) {
+      os << "(" << ranked.size() - shown
+         << " colder shards elided; --csv or --emit-json for all)\n";
+    }
+  }
+  os << "\naggregate: completed " << report.total_completed << "/"
+     << report.total_demands << "  hot shards " << report.hot_shards << "/"
+     << report.shards.size() << "  msgs/cs "
+     << Table::num(report.messages_per_cs, 3) << "  worst p99 "
+     << Table::num(report.grant_p99_worst, 3) << "  min fairness "
+     << Table::num(report.fairness_min, 4) << "  safety "
+     << (report.safety_violations == 0 ? "ok" : "VIOLATED") << "  drained "
+     << (report.drained ? "yes" : "NO") << "\n";
+
+  if (!opts.emit_json.empty()) {
+    ExperimentResult result;
+    result.algorithm = "lock-service";
+    result.lambda = cfg.lambda;
+    result.submitted = report.total_demands;
+    result.completed = report.total_completed;
+    result.messages_total = report.total_messages;
+    result.messages_per_cs = report.messages_per_cs;
+    result.safety_violations = report.safety_violations;
+    result.drained = report.drained;
+    for (const ShardResult& s : report.shards) {
+      result.sim_duration_units =
+          std::max(result.sim_duration_units, s.sim_duration_units);
+    }
+    result.lock_service = std::make_shared<const LockServiceReport>(report);
+    std::ofstream manifest(opts.emit_json);
+    if (!manifest) {
+      os << "cannot open --emit-json file '" << opts.emit_json << "'\n";
+      return 2;
+    }
+    write_run_manifest(manifest, {RunRecord{cfg, result}});
+  }
+  return report.drained && report.safety_violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -102,6 +229,15 @@ usage: dmx_sweep [flags]
                          (default 1 = serial, 0 = one per hardware thread);
                          table, manifest and trace output is byte-identical
                          for every J
+  --resources K          lock resources                [1]
+                         K > 1 switches into the sharded lock-service
+                         scenario: --requests becomes aggregate demand,
+                         Zipf-split over the resources; --n sizes hot
+                         shards; shards fan out over --jobs workers
+  --zipf-s S             Zipf popularity skew          [0.9]
+  --shard-algo SPEC      per-shard algorithms, e.g.
+                         hot=arbiter-tp,cold=raymond (either key alone ok)
+  --batch B              LockSpace demand batching     [16] (0 = unbatched)
   --trace-out FILE       write a structured event trace of the sweep's
                          first run (first lambda, first seed)
   --trace-format FMT     jsonl | chrome | text         [jsonl]
@@ -191,6 +327,42 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       o.max_events = parse_u64(a, need_value(i++, a));
     } else if (a == "--jobs") {
       o.jobs = static_cast<std::size_t>(parse_u64(a, need_value(i++, a)));
+    } else if (a == "--resources") {
+      o.n_resources =
+          static_cast<std::size_t>(parse_u64(a, need_value(i++, a)));
+      if (o.n_resources == 0) {
+        throw std::invalid_argument("--resources must be > 0");
+      }
+    } else if (a == "--zipf-s") {
+      o.zipf_s = parse_double(a, need_value(i++, a));
+      if (o.zipf_s < 0.0) {
+        throw std::invalid_argument("--zipf-s must be >= 0");
+      }
+    } else if (a == "--shard-algo") {
+      // hot=NAME,cold=NAME — either key alone is fine, unknown keys are not.
+      const std::string spec = need_value(i++, a);
+      std::size_t start = 0;
+      while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string item = spec.substr(
+            start,
+            comma == std::string::npos ? std::string::npos : comma - start);
+        if (!item.empty()) {
+          const auto [k, v] = split_kv(a, item);
+          if (k == "hot") {
+            o.shard_algo_hot = v;
+          } else if (k == "cold") {
+            o.shard_algo_cold = v;
+          } else {
+            throw std::invalid_argument(
+                "--shard-algo keys are hot/cold, got '" + k + "'");
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (a == "--batch") {
+      o.batch = static_cast<std::size_t>(parse_u64(a, need_value(i++, a)));
     } else if (a == "--trace-out") {
       o.trace_out = need_value(i++, a);
     } else if (a == "--trace-format") {
@@ -236,6 +408,12 @@ int run_cli(const CliOptions& opts, std::ostream& os) {
     if (opts.trace_format == "chrome") fmt = obs::TraceFormat::kChrome;
     if (opts.trace_format == "text") fmt = obs::TraceFormat::kText;
     trace_sink = obs::make_format_sink(fmt, trace_file);
+  }
+
+  if (opts.n_resources > 1) {
+    // Sharded lock-service scenario: one Zipf-split run, not a lambda
+    // sweep.  The trace sink (if any) captures the hottest shard.
+    return run_lock_service_cli(opts, os, std::move(trace_sink));
   }
 
   const bool chaos = !opts.fault_plan.empty();

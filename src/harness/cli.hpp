@@ -22,6 +22,14 @@
 //   --jobs J                parallel sweep workers (default 1 = serial,
 //                           0 = one per hardware thread); output is
 //                           byte-identical for every J
+//   --resources K           lock resources; K > 1 switches the run into the
+//                           sharded lock-service scenario (Zipf-split
+//                           aggregate demand, per-shard SLO table)
+//   --zipf-s S              Zipf popularity skew across resources
+//   --shard-algo SPEC       per-shard algorithm choice, e.g.
+//                           hot=arbiter-tp,cold=raymond (either key may be
+//                           given alone)
+//   --batch B               LockSpace demand batching (0 = unbatched)
 //   --trace-out FILE        structured event trace of the first run
 //   --trace-format FMT      jsonl | chrome | text   (default jsonl)
 //   --emit-json FILE        machine-readable run manifest (dmx.run.v1)
@@ -59,6 +67,17 @@ struct CliOptions {
   /// 1 = serial, 0 = one per hardware thread.  Table, manifest and trace
   /// output is byte-identical for every value.
   std::size_t jobs = 1;
+  // --- Sharded lock-service scenario (harness/lock_service.hpp) ----------
+  /// 1 = the classic single-CS sweep; > 1 switches run_cli into the
+  /// lock-service scenario: --requests becomes the aggregate demand,
+  /// Zipf(zipf_s)-split over the resources, --n the hot-shard client count,
+  /// and --lambda's first entry the closed-loop think rate (think_mean =
+  /// 1/lambda).  Shards fan out over --jobs workers, byte-identically.
+  std::size_t n_resources = 1;
+  double zipf_s = 0.9;  ///< Zipf skew across resources (0 = uniform).
+  std::string shard_algo_hot = "arbiter-tp";
+  std::string shard_algo_cold = "raymond";
+  std::size_t batch = 16;  ///< LockSpace demand batching (0 = unbatched).
   /// Structured trace of the sweep's first run (first lambda, first seed);
   /// empty = no trace.  Format: "jsonl", "chrome" (Perfetto-loadable), or
   /// "text" (the human-readable dmx_trace format).

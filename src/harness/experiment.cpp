@@ -137,6 +137,20 @@ std::vector<std::string> ExperimentConfig::validate() const {
       errors.push_back(std::string("fault plan: ") + e.what());
     }
   }
+  if (n_resources == 0) errors.emplace_back("n_resources must be at least 1");
+  if (zipf_s < 0.0) {
+    errors.push_back("zipf_s must be >= 0, got " + std::to_string(zipf_s));
+  }
+  if (n_resources > 1) {
+    if (!mutex::Registry::instance().contains(shard_algo_hot)) {
+      errors.push_back("unknown hot shard algorithm \"" + shard_algo_hot +
+                       "\"");
+    }
+    if (!mutex::Registry::instance().contains(shard_algo_cold)) {
+      errors.push_back("unknown cold shard algorithm \"" + shard_algo_cold +
+                       "\"");
+    }
+  }
   return errors;
 }
 

@@ -28,6 +28,8 @@
 
 namespace dmx::harness {
 
+struct LockServiceReport;  // harness/lock_service.hpp
+
 enum class DelayKind { kConstant, kUniform, kExponential };
 
 /// What carries algorithm messages: the raw (lossy) network, or the
@@ -91,6 +93,20 @@ struct ExperimentConfig {
   /// parameter: results, tables and manifests are byte-identical for every
   /// value (harness/parallel.hpp), so the manifest does not record it.
   std::size_t jobs = 1;
+
+  // --- Sharded lock-service scenario (harness/lock_service.hpp) ----------
+  /// Number of lock resources.  1 = the classic single-CS experiment; > 1
+  /// switches drivers (the dmx_sweep CLI, table_lockservice) into the
+  /// sharded lock-service scenario: aggregate demand is Zipf-split over the
+  /// resources and each shard runs the hot or cold algorithm below.
+  std::size_t n_resources = 1;
+  /// Zipf popularity skew across resources (0 = uniform); meaningful only
+  /// when n_resources > 1.
+  double zipf_s = 0.0;
+  /// Per-shard algorithm choice: hot shards (demand at or above the mean)
+  /// run shard_algo_hot, the rest run shard_algo_cold.
+  std::string shard_algo_hot = "arbiter-tp";
+  std::string shard_algo_cold = "raymond";
 
   /// Validate without running: returns one actionable message per problem
   /// (unknown algorithm name, non-positive rates, malformed fault plan,
@@ -186,6 +202,19 @@ class ExperimentConfigBuilder {
     cfg_.jobs = n;
     return *this;
   }
+  ExperimentConfigBuilder& resources(std::size_t n) {
+    cfg_.n_resources = n;
+    return *this;
+  }
+  ExperimentConfigBuilder& zipf_s(double s) {
+    cfg_.zipf_s = s;
+    return *this;
+  }
+  ExperimentConfigBuilder& shard_algorithms(std::string hot, std::string cold) {
+    cfg_.shard_algo_hot = std::move(hot);
+    cfg_.shard_algo_cold = std::move(cold);
+    return *this;
+  }
 
   /// Throws std::invalid_argument joining every validation error.
   [[nodiscard]] ExperimentConfig build() const;
@@ -264,6 +293,11 @@ struct ExperimentResult {
 
   // Request-lifecycle latency decomposition; set iff cfg.collect_spans.
   std::shared_ptr<const obs::SpanReport> spans;
+
+  // Sharded lock-service scorecard (per-shard SLOs, Zipf demand split);
+  // set only by lock-service drivers when cfg.n_resources > 1, null for
+  // classic single-resource runs.
+  std::shared_ptr<const LockServiceReport> lock_service;
 
   double sim_duration_units = 0.0;
   std::uint64_t sim_events = 0;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "harness/lock_service.hpp"
 #include "obs/json.hpp"
 
 namespace dmx::harness {
@@ -43,6 +44,14 @@ void write_config(obs::JsonWriter& w, const ExperimentConfig& cfg) {
   w.number(cfg.seed);
   w.key("transport");
   w.string(transport_name(cfg.transport));
+  w.key("n_resources");
+  w.number(static_cast<std::uint64_t>(cfg.n_resources));
+  w.key("zipf_s");
+  w.number(cfg.zipf_s);
+  w.key("shard_algo_hot");
+  w.string(cfg.shard_algo_hot);
+  w.key("shard_algo_cold");
+  w.string(cfg.shard_algo_cold);
   w.key("delay");
   w.string(delay_name(cfg.delay_kind));
   w.key("delay_jitter");
@@ -196,9 +205,72 @@ void write_result(obs::JsonWriter& w, const ExperimentResult& r) {
     write_phase(w, r.spans->token_wait);
     w.key("acquire");
     write_phase(w, r.spans->acquire);
+    w.key("grant_wait");
+    write_phase(w, r.spans->grant_wait);
     w.key("cs");
     write_phase(w, r.spans->cs);
     w.end_object();
+    w.end_object();
+  }
+  if (r.lock_service) {
+    const LockServiceReport& ls = *r.lock_service;
+    w.key("lock_service");
+    w.begin_object();
+    w.key("total_demands");
+    w.number(ls.total_demands);
+    w.key("total_completed");
+    w.number(ls.total_completed);
+    w.key("total_messages");
+    w.number(ls.total_messages);
+    w.key("messages_per_cs");
+    w.number(ls.messages_per_cs);
+    w.key("safety_violations");
+    w.number(ls.safety_violations);
+    w.key("hot_shards");
+    w.number(static_cast<std::uint64_t>(ls.hot_shards));
+    w.key("grant_p99_worst");
+    w.number(ls.grant_p99_worst);
+    w.key("fairness_min");
+    w.number(ls.fairness_min);
+    w.key("drained");
+    w.boolean(ls.drained);
+    w.key("shards");
+    w.begin_array();
+    for (const ShardResult& s : ls.shards) {
+      w.begin_object();
+      w.key("resource");
+      w.number(static_cast<std::uint64_t>(s.resource));
+      w.key("algorithm");
+      w.string(s.algorithm);
+      w.key("hot");
+      w.boolean(s.hot);
+      w.key("nodes");
+      w.number(static_cast<std::uint64_t>(s.nodes));
+      w.key("demand");
+      w.number(s.demand);
+      w.key("completed");
+      w.number(s.completed);
+      w.key("messages");
+      w.number(s.messages);
+      w.key("messages_per_cs");
+      w.number(s.messages_per_cs);
+      w.key("grant_mean");
+      w.number(s.grant_mean);
+      w.key("grant_p50");
+      w.number(s.grant_p50);
+      w.key("grant_p99");
+      w.number(s.grant_p99);
+      w.key("fairness");
+      w.number(s.fairness);
+      w.key("safety_violations");
+      w.number(s.safety_violations);
+      w.key("drained");
+      w.boolean(s.drained);
+      w.key("sim_duration_units");
+      w.number(s.sim_duration_units);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

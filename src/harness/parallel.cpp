@@ -34,18 +34,14 @@ std::size_t ParallelRunner::resolve(std::size_t jobs) {
 
 ParallelRunner::ParallelRunner(std::size_t jobs) : jobs_(resolve(jobs)) {}
 
-std::vector<ExperimentResult> ParallelRunner::run(
-    const std::vector<ExperimentConfig>& configs) const {
-  const std::size_t n = configs.size();
-  std::vector<ExperimentResult> results(n);
+void ParallelRunner::run_indexed(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
   const std::size_t workers = std::min(jobs_, n);
   if (workers <= 1) {
     // Inline serial path: identical to the historical loop, and usable
     // before registries are frozen (e.g. unit tests interning ad hoc).
-    for (std::size_t i = 0; i < n; ++i) {
-      results[i] = run_experiment(configs[i]);
-    }
-    return results;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
 
   freeze_registries();
@@ -57,7 +53,7 @@ std::vector<ExperimentResult> ParallelRunner::run(
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        results[i] = run_experiment(configs[i]);
+        fn(i);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -72,6 +68,13 @@ std::vector<ExperimentResult> ParallelRunner::run(
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+std::vector<ExperimentResult> ParallelRunner::run(
+    const std::vector<ExperimentConfig>& configs) const {
+  std::vector<ExperimentResult> results(configs.size());
+  run_indexed(configs.size(),
+              [&](std::size_t i) { results[i] = run_experiment(configs[i]); });
   return results;
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "harness/experiment.hpp"
@@ -59,6 +60,18 @@ class ParallelRunner {
   /// never half-finishes silently).
   std::vector<ExperimentResult> run(
       const std::vector<ExperimentConfig>& configs) const;
+
+  /// Generic indexed fan-out: run fn(0) .. fn(n-1), each call one job
+  /// claimed from the shared atomic cursor.  Same semantics as run(): with
+  /// one effective worker the loop executes inline on the calling thread
+  /// (no pool, no freeze); otherwise registries are frozen first, every job
+  /// runs even if others throw, and the lowest-index exception is rethrown
+  /// after the pool drains.  `fn` must write results into its own indexed
+  /// slot — the runner provides ordering, not output storage.  run() and
+  /// the sharded lock-service fan-out (harness/lock_service.hpp) are both
+  /// built on this.
+  void run_indexed(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) const;
 
   /// 0 -> std::thread::hardware_concurrency() (min 1).
   [[nodiscard]] static std::size_t resolve(std::size_t jobs);

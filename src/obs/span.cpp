@@ -55,6 +55,7 @@ void SpanCollector::finalize(std::uint64_t req, Span& s) {
     report_.transit.add(s.transit());
     report_.token_wait.add(s.token_wait());
     report_.acquire.add(s.acquire());
+    report_.grant_wait.add(s.grant_wait());
     report_.cs.add(s.cs_time());
   } else {
     ++report_.aborted;

@@ -59,6 +59,11 @@ struct Span {
     return has_queued ? (granted - queued).to_units() : (granted - issued).to_units();
   }
   [[nodiscard]] double acquire() const { return (granted - issued).to_units(); }
+  /// Workload arrival -> granted: queue + acquire, the client-visible
+  /// time-to-grant the lock-service SLO tables report p99s of.
+  [[nodiscard]] double grant_wait() const {
+    return (granted - submitted).to_units();
+  }
   [[nodiscard]] double cs_time() const { return (released - granted).to_units(); }
 };
 
@@ -85,13 +90,14 @@ struct SpanReport {
   PhaseStats transit;
   PhaseStats token_wait;
   PhaseStats acquire;
+  PhaseStats grant_wait;  ///< submitted -> granted (time-to-grant SLO).
   PhaseStats cs;
 
   /// `hist_max` bounds every phase histogram (overflow clamps to the top
   /// edge in quantile queries, same policy as the service-time histogram).
   explicit SpanReport(double hist_max)
       : queue(hist_max), transit(hist_max), token_wait(hist_max),
-        acquire(hist_max), cs(hist_max) {}
+        acquire(hist_max), grant_wait(hist_max), cs(hist_max) {}
 };
 
 /// Assembles spans from the event stream and forwards everything (events

@@ -1,16 +1,20 @@
-// Small-buffer-optimized move-only callable for simulator events.
+// Small-buffer-optimized move-only callables for simulator events and hooks.
 //
 // Every message in flight is one scheduled closure; with std::function the
 // typical capture (an Envelope plus a this-pointer, ~48 bytes) exceeds
-// libstdc++'s 16-byte inline buffer and allocates.  SmallFn inlines up to
-// kInlineBytes of capture state in the event slot itself, so scheduling a
+// libstdc++'s 16-byte inline buffer and allocates.  SmallCallback inlines up
+// to kInlineBytes of capture state in the event slot itself, so scheduling a
 // delivery is pointer shuffling, not heap traffic.  Oversized or
 // potentially-throwing-on-move callables transparently fall back to the
 // heap; behaviour is identical either way.
 //
-// The type is move-only (closures holding PayloadPtr refcounts must not be
-// silently duplicated) and deliberately tiny in API: construct from any
-// void() callable, test for emptiness, invoke.
+// SmallCallback is templated on the call signature so typed notification
+// hooks (e.g. mutex::LockSpace's on_granted/on_released, which pass a
+// LockEvent) ride the same zero-allocation plane as the classic void()
+// simulator events; SmallFn remains the alias every event-scheduling call
+// site uses.  The type is move-only (closures holding PayloadPtr refcounts
+// must not be silently duplicated) and deliberately tiny in API: construct
+// from any compatible callable, test for emptiness, invoke.
 #pragma once
 
 #include <cstddef>
@@ -28,20 +32,24 @@ template <typename Sig>
 inline constexpr bool kIsStdFunction<std::function<Sig>> = true;
 }  // namespace detail
 
-class SmallFn {
+template <typename Sig>
+class SmallCallback;
+
+template <typename R, typename... Args>
+class SmallCallback<R(Args...)> {
  public:
   /// Room for a network-delivery closure (this + Envelope = 48 bytes) with
   /// headroom for driver/timer lambdas; measured, not sacred.
   static constexpr std::size_t kInlineBytes = 80;
 
-  constexpr SmallFn() noexcept = default;
-  constexpr SmallFn(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+  constexpr SmallCallback() noexcept = default;
+  constexpr SmallCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
 
   template <typename F,
             typename Fn = std::decay_t<F>,
-            typename = std::enable_if_t<!std::is_same_v<Fn, SmallFn> &&
-                                        std::is_invocable_r_v<void, Fn&>>>
-  SmallFn(F&& f) {  // NOLINT(runtime/explicit)
+            typename = std::enable_if_t<!std::is_same_v<Fn, SmallCallback> &&
+                                        std::is_invocable_r_v<R, Fn&, Args...>>>
+  SmallCallback(F&& f) {  // NOLINT(runtime/explicit)
     // Preserve std::function's empty state instead of wrapping it: callers
     // (and tests) rely on scheduling an empty callback being rejected.
     if constexpr (detail::kIsStdFunction<Fn>) {
@@ -58,25 +66,27 @@ class SmallFn {
     ops_ = &OpsImpl<Fn, kInline>::kOps;
   }
 
-  SmallFn(SmallFn&& o) noexcept { move_from(o); }
-  SmallFn& operator=(SmallFn&& o) noexcept {
+  SmallCallback(SmallCallback&& o) noexcept { move_from(o); }
+  SmallCallback& operator=(SmallCallback&& o) noexcept {
     if (this != &o) {
       destroy();
       move_from(o);
     }
     return *this;
   }
-  SmallFn(const SmallFn&) = delete;
-  SmallFn& operator=(const SmallFn&) = delete;
-  ~SmallFn() { destroy(); }
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+  ~SmallCallback() { destroy(); }
 
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
-  void operator()() { ops_->invoke(obj_); }
+  R operator()(Args... args) {
+    return ops_->invoke(obj_, std::forward<Args>(args)...);
+  }
 
  private:
   struct Ops {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     void (*destroy)(void*) noexcept;
     /// Relocate src's target into dst_buf (inline) or steal it (heap);
     /// returns the new object pointer.  src is dead afterwards.
@@ -85,7 +95,9 @@ class SmallFn {
 
   template <typename Fn, bool kInline>
   struct OpsImpl {
-    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+    }
     static void destroy(void* p) noexcept {
       if constexpr (kInline) {
         static_cast<Fn*>(p)->~Fn();
@@ -106,7 +118,7 @@ class SmallFn {
     static constexpr Ops kOps{&invoke, &destroy, &relocate};
   };
 
-  void move_from(SmallFn& o) noexcept {
+  void move_from(SmallCallback& o) noexcept {
     ops_ = o.ops_;
     if (ops_ != nullptr) obj_ = ops_->relocate(buf_, o.obj_);
     o.ops_ = nullptr;
@@ -125,5 +137,9 @@ class SmallFn {
   void* obj_ = nullptr;
   alignas(std::max_align_t) std::byte buf_[kInlineBytes];
 };
+
+/// The classic simulator-event callable: every scheduled closure is one of
+/// these.
+using SmallFn = SmallCallback<void()>;
 
 }  // namespace dmx::sim

@@ -4,30 +4,57 @@
 
 namespace dmx::workload {
 
+namespace {
+
+std::vector<ClosedLoopGenerator::SubmitFn> wrap_drivers(
+    const std::vector<mutex::CsDriver*>& drivers) {
+  std::vector<ClosedLoopGenerator::SubmitFn> submit;
+  submit.reserve(drivers.size());
+  for (mutex::CsDriver* d : drivers) {
+    if (d == nullptr) {
+      throw std::invalid_argument("ClosedLoopGenerator: null driver");
+    }
+    submit.emplace_back([d] { d->submit(); });
+  }
+  return submit;
+}
+
+}  // namespace
+
 ClosedLoopGenerator::ClosedLoopGenerator(
     sim::Simulator& sim, std::vector<mutex::CsDriver*> drivers,
     std::vector<std::unique_ptr<ArrivalProcess>> think,
     std::uint64_t total_requests, std::uint64_t seed)
-    : sim_(sim), drivers_(std::move(drivers)), think_(std::move(think)),
-      stopped_(drivers_.size(), false), total_requests_(total_requests) {
-  if (drivers_.size() != think_.size()) {
+    : ClosedLoopGenerator(sim, wrap_drivers(drivers), std::move(think),
+                          total_requests, seed) {
+  // Resubmission loop: the next think period starts when a CS completes.
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    const std::size_t client = i;
+    drivers[i]->set_completion_callback(
+        [this, client](const mutex::CsRequest&) { notify_complete(client); });
+  }
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(
+    sim::Simulator& sim, std::vector<SubmitFn> submit,
+    std::vector<std::unique_ptr<ArrivalProcess>> think,
+    std::uint64_t total_requests, std::uint64_t seed)
+    : sim_(sim), submit_(std::move(submit)), think_(std::move(think)),
+      stopped_(submit_.size(), false), total_requests_(total_requests) {
+  if (submit_.size() != think_.size()) {
     throw std::invalid_argument("ClosedLoopGenerator: size mismatch");
   }
   sim::Rng root(seed);
-  for (std::size_t i = 0; i < drivers_.size(); ++i) {
-    if (drivers_[i] == nullptr || think_[i] == nullptr) {
+  for (std::size_t i = 0; i < submit_.size(); ++i) {
+    if (!submit_[i] || think_[i] == nullptr) {
       throw std::invalid_argument("ClosedLoopGenerator: null entry");
     }
     rngs_.push_back(root.fork());
-    // Resubmission loop: the next think period starts when a CS completes.
-    const std::size_t node = i;
-    drivers_[i]->set_completion_callback(
-        [this, node](const mutex::CsRequest&) { think_then_submit(node); });
   }
 }
 
 void ClosedLoopGenerator::start() {
-  for (std::size_t i = 0; i < drivers_.size(); ++i) think_then_submit(i);
+  for (std::size_t i = 0; i < submit_.size(); ++i) think_then_submit(i);
 }
 
 void ClosedLoopGenerator::stop_node(std::size_t node) {
@@ -37,13 +64,20 @@ void ClosedLoopGenerator::stop_node(std::size_t node) {
   stopped_[node] = true;
 }
 
+void ClosedLoopGenerator::notify_complete(std::size_t client) {
+  if (client >= submit_.size()) {
+    throw std::out_of_range("ClosedLoopGenerator::notify_complete");
+  }
+  think_then_submit(client);
+}
+
 void ClosedLoopGenerator::think_then_submit(std::size_t node) {
   if (submitted_ >= total_requests_ || stopped_[node]) return;
   const sim::SimTime gap = think_[node]->next_gap(rngs_[node]);
   sim_.schedule_after(gap, [this, node] {
     if (submitted_ >= total_requests_ || stopped_[node]) return;
     ++submitted_;
-    drivers_[node]->submit();
+    submit_[node]();
   });
 }
 

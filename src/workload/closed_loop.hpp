@@ -1,11 +1,19 @@
-// Closed-loop workload: each node thinks, requests, executes, thinks again.
+// Closed-loop workload: each client thinks, requests, executes, thinks again.
 //
 // The open-loop Poisson model (the paper's) keeps submitting regardless of
-// backlog; a closed-loop model — each node cycles think -> request -> CS —
+// backlog; a closed-loop model — each client cycles think -> request -> CS —
 // is the classic alternative (machine-repairman style) and keeps the system
-// at a bounded population of at most one pending request per node, which
+// at a bounded population of at most one pending request per client, which
 // matches the paper's heavy-load analysis ("all nodes will have at least
 // one pending request") exactly when think time is zero.
+//
+// Two client bindings:
+//  * the historical one drives mutex::CsDriver instances directly (one
+//    client per driver, completion detected via the driver callback);
+//  * the generic one drives opaque submit functions and is told about
+//    completions via notify_complete(client) — this is how the sharded
+//    lock-service scenario runs closed loops against the LockSpace API
+//    (acquire + on_released hook) without reaching into its drivers.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +30,23 @@ namespace dmx::workload {
 
 class ClosedLoopGenerator {
  public:
-  /// Each node draws its think gap from its own process; a node resubmits
-  /// `think` after each CS completion.  Stops after `total_requests` global
+  /// One client's demand entry point (e.g. LockSpace::acquire bound to a
+  /// fixed node+resource).
+  using SubmitFn = std::function<void()>;
+
+  /// Historical binding: each driver is one client; a client resubmits
+  /// `think` after each CS completion (the generator owns the drivers'
+  /// completion callbacks).  Stops after `total_requests` global
   /// submissions.
   ClosedLoopGenerator(sim::Simulator& sim,
                       std::vector<mutex::CsDriver*> drivers,
+                      std::vector<std::unique_ptr<ArrivalProcess>> think,
+                      std::uint64_t total_requests, std::uint64_t seed);
+
+  /// Generic binding: each submit function is one client; the caller must
+  /// call notify_complete(client) when that client's demand finishes (e.g.
+  /// from a LockSpace on_released hook).
+  ClosedLoopGenerator(sim::Simulator& sim, std::vector<SubmitFn> submit,
                       std::vector<std::unique_ptr<ArrivalProcess>> think,
                       std::uint64_t total_requests, std::uint64_t seed);
 
@@ -36,13 +56,18 @@ class ClosedLoopGenerator {
   void start();
   void stop_node(std::size_t node);
 
+  /// Completion signal for the generic binding: client `client` finished
+  /// its outstanding demand; think, then resubmit (budget permitting).
+  void notify_complete(std::size_t client);
+
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::size_t clients() const { return submit_.size(); }
 
  private:
   void think_then_submit(std::size_t node);
 
   sim::Simulator& sim_;
-  std::vector<mutex::CsDriver*> drivers_;
+  std::vector<SubmitFn> submit_;
   std::vector<std::unique_ptr<ArrivalProcess>> think_;
   std::vector<sim::Rng> rngs_;
   std::vector<bool> stopped_;

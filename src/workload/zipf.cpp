@@ -1,0 +1,54 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dmx::workload {
+
+ZipfPicker::ZipfPicker(std::size_t n_ranks, double skew) : skew_(skew) {
+  if (n_ranks == 0) {
+    throw std::invalid_argument("ZipfPicker: need at least one rank");
+  }
+  if (skew < 0.0) {
+    throw std::invalid_argument("ZipfPicker: skew must be >= 0");
+  }
+  cumulative_.resize(n_ranks);
+  double running = 0.0;
+  for (std::size_t r = 0; r < n_ranks; ++r) {
+    running += std::pow(static_cast<double>(r + 1), -skew);
+    cumulative_[r] = running;
+  }
+  const double norm = running;
+  for (double& c : cumulative_) c /= norm;
+  cumulative_.back() = 1.0;  // guard against rounding in the last bucket
+}
+
+double ZipfPicker::probability(std::size_t rank) const {
+  if (rank >= cumulative_.size()) {
+    throw std::out_of_range("ZipfPicker::probability: rank out of range");
+  }
+  return rank == 0 ? cumulative_[0] : cumulative_[rank] - cumulative_[rank - 1];
+}
+
+std::size_t ZipfPicker::pick(sim::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return it == cumulative_.end()
+             ? cumulative_.size() - 1
+             : static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+std::vector<std::uint64_t> zipf_demand_vector(std::size_t n_resources,
+                                              double skew,
+                                              std::uint64_t total,
+                                              std::uint64_t seed) {
+  const ZipfPicker picker(n_resources, skew);
+  sim::Rng rng(seed);
+  std::vector<std::uint64_t> demand(n_resources, 0);
+  for (std::uint64_t i = 0; i < total; ++i) ++demand[picker.pick(rng)];
+  return demand;
+}
+
+}  // namespace dmx::workload

@@ -1,0 +1,51 @@
+// Zipf-skewed resource popularity for multi-resource lock workloads.
+//
+// Production lock traffic is never uniform: a handful of hot keys absorb
+// most of the demand while a long tail stays nearly idle (the classic
+// Zipf(s) shape web caches and key-value stores are benchmarked with).  The
+// sharded lock-service scenario draws each client demand's target resource
+// from this distribution, so shard 0 is the hottest and the tail exercises
+// the cheap cold-shard protocols.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace dmx::workload {
+
+/// Draws ranks 0..K-1 with probability proportional to 1/(rank+1)^s.
+/// s = 0 degenerates to uniform; s = 1 is the canonical Zipf web-traffic
+/// skew.  Sampling is a binary search over the precomputed cumulative
+/// weights, so a draw costs O(log K) with zero allocation.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n_ranks, double skew);
+
+  [[nodiscard]] std::size_t ranks() const { return cumulative_.size(); }
+  [[nodiscard]] double skew() const { return skew_; }
+
+  /// Probability mass of one rank (normalized).
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  /// One draw: a rank in [0, ranks()).
+  [[nodiscard]] std::size_t pick(sim::Rng& rng) const;
+
+ private:
+  double skew_;
+  std::vector<double> cumulative_;  ///< Normalized inclusive prefix sums.
+};
+
+/// THE per-resource demand split for a lock-service run: `total` Zipf(s)
+/// draws over `n_resources` ranks, tallied per rank, from a dedicated
+/// Rng(seed).  Every consumer of the split (the shard scheduler, the bench
+/// tables, the manifest) calls this one function so a (seed, K, s, total)
+/// tuple always yields byte-identical demand vectors — the property the
+/// --jobs byte-equality gates and the Zipf determinism pins rely on.
+[[nodiscard]] std::vector<std::uint64_t> zipf_demand_vector(
+    std::size_t n_resources, double skew, std::uint64_t total,
+    std::uint64_t seed);
+
+}  // namespace dmx::workload

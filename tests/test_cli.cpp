@@ -122,6 +122,56 @@ TEST(Cli, RunSmallSweepProducesTable) {
   EXPECT_EQ(out.find("VIOLATED"), std::string::npos);
 }
 
+TEST(Cli, ParsesLockServiceFlags) {
+  // Single-resource defaults keep the classic sweep path.
+  const auto d = parse({});
+  EXPECT_EQ(d.n_resources, 1u);
+  EXPECT_DOUBLE_EQ(d.zipf_s, 0.9);
+  EXPECT_EQ(d.shard_algo_hot, "arbiter-tp");
+  EXPECT_EQ(d.shard_algo_cold, "raymond");
+  EXPECT_EQ(d.batch, 16u);
+
+  const auto o = parse({"--resources", "64", "--zipf-s", "1.2",
+                        "--shard-algo", "hot=suzuki-kasami,cold=centralized",
+                        "--batch", "32"});
+  EXPECT_EQ(o.n_resources, 64u);
+  EXPECT_DOUBLE_EQ(o.zipf_s, 1.2);
+  EXPECT_EQ(o.shard_algo_hot, "suzuki-kasami");
+  EXPECT_EQ(o.shard_algo_cold, "centralized");
+  EXPECT_EQ(o.batch, 32u);
+  // Partial assignment leaves the other role at its default.
+  EXPECT_EQ(parse({"--shard-algo", "cold=centralized"}).shard_algo_hot,
+            "arbiter-tp");
+}
+
+TEST(Cli, LockServiceFlagRejections) {
+  EXPECT_THROW(parse({"--resources"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--resources", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--zipf-s", "-0.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--zipf-s", "abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--shard-algo", "warm=raymond"}),
+               std::invalid_argument);  // unknown role key
+  EXPECT_THROW(parse({"--shard-algo", "hot"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--batch", "x"}), std::invalid_argument);
+}
+
+TEST(Cli, RunLockServiceProducesShardTable) {
+  CliOptions o;
+  o.n_resources = 8;
+  o.zipf_s = 0.9;
+  o.requests = 800;
+  o.n_nodes = 4;
+  o.lambdas = {2.0};
+  std::ostringstream os;
+  EXPECT_EQ(run_cli(o, os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("grant p99"), std::string::npos);
+  EXPECT_NE(out.find("fairness"), std::string::npos);
+  EXPECT_NE(out.find("arbiter-tp"), std::string::npos);
+  EXPECT_NE(out.find("raymond"), std::string::npos);
+  EXPECT_EQ(out.find("VIOLATED"), std::string::npos);
+}
+
 TEST(Cli, RunCsvMode) {
   CliOptions o;
   o.lambdas = {0.5};

@@ -1,9 +1,17 @@
-// Tests for the multi-resource LockSpace.
+// Tests for the multi-resource LockSpace: the spec/builder API, per-resource
+// overrides, typed acquire tickets with grant/release hooks, demand
+// batching, and the sharded lock-service scenario built on top of it.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <sstream>
+
 #include "harness/experiment.hpp"
+#include "harness/lock_service.hpp"
+#include "harness/manifest.hpp"
 #include "mutex/lock_space.hpp"
 #include "sim/rng.hpp"
+#include "workload/zipf.hpp"
 
 namespace dmx::mutex {
 namespace {
@@ -105,6 +113,303 @@ TEST(LockSpace, SojournStatsPerResource) {
   EXPECT_EQ(w.count(), 2u);
   EXPECT_GT(w.mean(), 0.0);
   EXPECT_EQ(space.sojourn(1).count(), 0u);
+}
+
+TEST(LockSpaceSpec, ValidateReportsEveryErrorAtOnce) {
+  harness::register_builtin_algorithms();
+  LockSpaceSpec spec;
+  spec.algorithm = "no-such-default";
+  spec.n_nodes = 0;
+  spec.n_resources = 2;
+  spec.t_msg = -1.0;
+  spec.span_hist_max = 0.0;
+  spec.overrides[5].algorithm = "no-such-override";  // index out of range too
+  spec.overrides[1].n_nodes = 0;
+  const auto errors = spec.validate();
+  EXPECT_GE(errors.size(), 6u);
+  auto mentions = [&errors](const std::string& needle) {
+    for (const auto& e : errors) {
+      if (e.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(mentions("no-such-default"));
+  EXPECT_TRUE(mentions("no-such-override"));
+  EXPECT_TRUE(mentions("out of range"));
+  EXPECT_TRUE(mentions("override for resource 1"));
+}
+
+TEST(LockSpaceBuilder, BuildThrowsJoinedErrors) {
+  harness::register_builtin_algorithms();
+  LockSpaceBuilder builder;
+  builder.algorithm("no-such").nodes(0);
+  try {
+    (void)builder.build();
+    FAIL() << "build() should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such"), std::string::npos);
+    EXPECT_NE(what.find("n_nodes"), std::string::npos);
+  }
+}
+
+TEST(LockSpaceBuilder, PerResourceOverridesApply) {
+  harness::register_builtin_algorithms();
+  const LockSpaceSpec spec = LockSpaceBuilder()
+                                 .resources(3)
+                                 .nodes(4)
+                                 .algorithm("raymond")
+                                 .resource_algorithm(0, "arbiter-tp")
+                                 .resource_nodes(0, 8)
+                                 .seed(11)
+                                 .build();
+  EXPECT_EQ(spec.algorithm_for(0), "arbiter-tp");
+  EXPECT_EQ(spec.algorithm_for(1), "raymond");
+  EXPECT_EQ(spec.nodes_for(0), 8u);
+  EXPECT_EQ(spec.nodes_for(2), 4u);
+
+  LockSpace space(spec);
+  EXPECT_EQ(space.algorithm(0), "arbiter-tp");
+  EXPECT_EQ(space.algorithm(2), "raymond");
+  EXPECT_EQ(space.nodes(0), 8u);
+  EXPECT_EQ(space.nodes(1), 4u);
+  // Mixed per-resource protocols run side by side with zero violations.
+  for (std::size_t node = 0; node < 4; ++node) {
+    for (std::size_t r = 0; r < 3; ++r) space.acquire(node, r);
+  }
+  for (std::size_t node = 4; node < 8; ++node) space.acquire(node, 0);
+  space.simulator().run();
+  EXPECT_EQ(space.total_completed(), 16u);
+  EXPECT_EQ(space.safety_violations(), 0u);
+}
+
+TEST(LockSpaceBuilder, ResourceParamsMergeOverDefaults) {
+  harness::register_builtin_algorithms();
+  const LockSpaceSpec spec = LockSpaceBuilder()
+                                 .resources(2)
+                                 .param("t_req", 0.5)
+                                 .param("recovery", 1.0)
+                                 .resource_param(1, "t_req", 2.5)
+                                 .build();
+  EXPECT_DOUBLE_EQ(spec.params_for(0).get_num("t_req", 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(spec.params_for(1).get_num("t_req", 0.0), 2.5);
+  // Untouched defaults survive the merge.
+  EXPECT_DOUBLE_EQ(spec.params_for(1).get_num("recovery", 0.0), 1.0);
+}
+
+TEST(LockSpace, AcquireReturnsTicketsAndHooksFireExactlyOnce) {
+  harness::register_builtin_algorithms();
+  auto space = LockSpaceBuilder().resources(2).nodes(4).seed(3).build_space();
+  std::map<std::uint64_t, int> grants, releases;
+  std::vector<std::uint64_t> release_order;
+  space->set_on_granted([&grants](const LockEvent& e) {
+    ASSERT_TRUE(e.id);
+    ++grants[e.id.value];
+  });
+  space->set_on_released([&releases, &release_order](const LockEvent& e) {
+    ASSERT_TRUE(e.id);
+    ++releases[e.id.value];
+    release_order.push_back(e.id.value);
+  });
+  std::vector<LockRequestId> tickets;
+  for (std::size_t node = 0; node < 4; ++node) {
+    tickets.push_back(space->acquire(node, node % 2));
+    tickets.push_back(space->acquire(node, (node + 1) % 2));
+  }
+  // Tickets are unique and strictly increasing in submission order.
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    EXPECT_GT(tickets[i].value, tickets[i - 1].value);
+  }
+  space->simulator().run();
+  EXPECT_EQ(space->total_completed(), tickets.size());
+  EXPECT_EQ(grants.size(), tickets.size());
+  EXPECT_EQ(releases.size(), tickets.size());
+  for (const LockRequestId t : tickets) {
+    EXPECT_EQ(grants[t.value], 1) << "ticket " << t.value;
+    EXPECT_EQ(releases[t.value], 1) << "ticket " << t.value;
+  }
+}
+
+TEST(LockSpace, SubmitBatchTicketsInOrder) {
+  harness::register_builtin_algorithms();
+  auto space =
+      LockSpaceBuilder().resources(2).nodes(3).batch(4).seed(5).build_space();
+  const std::vector<LockDemand> demands = {
+      {0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {0, 1, 0}, {1, 1, 0}};
+  const std::vector<LockRequestId> tickets = space->submit_batch(demands);
+  ASSERT_EQ(tickets.size(), demands.size());
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    EXPECT_EQ(tickets[i].value, tickets[i - 1].value + 1);
+  }
+  EXPECT_EQ(space->total_submitted(), demands.size());
+  space->simulator().run();
+  EXPECT_EQ(space->total_completed(), demands.size());
+  EXPECT_EQ(space->safety_violations(), 0u);
+}
+
+TEST(LockSpace, BatchingMatchesUnbatchedOutcomes) {
+  harness::register_builtin_algorithms();
+  auto run = [](std::size_t batch) {
+    auto space = LockSpaceBuilder()
+                     .resources(2)
+                     .nodes(4)
+                     .batch(batch)
+                     .seed(21)
+                     .build_space();
+    sim::Rng rng(9);
+    for (int k = 0; k < 100; ++k) {
+      const auto node = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      const auto res = static_cast<std::size_t>(rng.uniform_int(0, 1));
+      const double when = rng.uniform(0.0, 20.0);
+      space->simulator().schedule_at(
+          sim::SimTime::units(when),
+          [space = space.get(), node, res] { space->acquire(node, res); });
+    }
+    space->simulator().run();
+    std::pair<std::uint64_t, std::vector<std::uint64_t>> out{
+        space->safety_violations(), {}};
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (const std::uint64_t c : space->completions_per_node(r)) {
+        out.second.push_back(c);
+      }
+    }
+    EXPECT_EQ(space->total_completed(), 100u);
+    return out;
+  };
+  const auto unbatched = run(0);
+  const auto batched = run(8);
+  EXPECT_EQ(unbatched.first, 0u);
+  EXPECT_EQ(batched.first, 0u);
+  // Batching defers submission within the same timestamp only, so per-node
+  // completion tallies are identical to the unbatched run.
+  EXPECT_EQ(unbatched.second, batched.second);
+}
+
+TEST(LockSpace, SpanReportExposesGrantWait) {
+  harness::register_builtin_algorithms();
+  auto space =
+      LockSpaceBuilder().resources(2).nodes(3).collect_spans().build_space();
+  for (std::size_t node = 0; node < 3; ++node) {
+    space->acquire(node, 0);
+    space->acquire(node, 1);
+  }
+  space->simulator().run();
+  const obs::SpanReport* report = space->span_report(0);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->completed, 3u);
+  EXPECT_EQ(report->grant_wait.moments.count(), 3u);
+  EXPECT_GE(report->grant_wait.hist.quantile(0.99),
+            report->grant_wait.hist.quantile(0.50));
+  // Without collect_spans the report is absent, not empty.
+  LockSpace bare(LockSpaceBuilder().resources(1).nodes(2).build());
+  EXPECT_EQ(bare.span_report(0), nullptr);
+}
+
+TEST(LockSpace, DeprecatedConfigShimStillBuilds) {
+  harness::register_builtin_algorithms();
+  LockSpace::Config cfg;
+  cfg.algorithm = "suzuki-kasami";
+  cfg.n_nodes = 3;
+  cfg.n_resources = 2;
+  LockSpace space(cfg);
+  EXPECT_EQ(space.spec().algorithm, "suzuki-kasami");
+  EXPECT_EQ(space.spec().batch_size, 0u);  // shim: unbatched, no spans
+  space.acquire(0, 0);
+  space.acquire(1, 1);
+  space.simulator().run();
+  EXPECT_EQ(space.total_completed(), 2u);
+}
+
+// --- Sharded lock-service scenario (harness/lock_service.hpp) ------------
+
+harness::LockServiceConfig small_service() {
+  harness::LockServiceConfig cfg;
+  cfg.n_resources = 12;
+  cfg.zipf_s = 0.9;
+  cfg.total_demands = 1'500;
+  cfg.hot_nodes = 6;
+  cfg.cold_nodes = 3;
+  cfg.think_mean = 0.5;
+  cfg.batch_size = 8;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(LockService, ValidateReportsEveryErrorAtOnce) {
+  harness::register_builtin_algorithms();
+  harness::LockServiceConfig cfg;
+  cfg.n_resources = 0;
+  cfg.zipf_s = -1.0;
+  cfg.total_demands = 0;
+  cfg.hot_algorithm = "no-such-hot";
+  cfg.cold_algorithm = "no-such-cold";
+  cfg.think_mean = 0.0;
+  const auto errors = cfg.validate();
+  EXPECT_GE(errors.size(), 6u);
+  EXPECT_THROW((void)harness::run_lock_service(cfg), std::invalid_argument);
+}
+
+TEST(LockService, MixedShardAlgorithmsZeroViolations) {
+  harness::register_builtin_algorithms();
+  const harness::LockServiceReport report =
+      harness::run_lock_service(small_service());
+  EXPECT_TRUE(report.drained);
+  EXPECT_EQ(report.safety_violations, 0u);
+  EXPECT_EQ(report.total_completed, 1'500u);
+  // The Zipf head/tail split exercises BOTH algorithms.
+  EXPECT_GE(report.hot_shards, 1u);
+  EXPECT_LT(report.hot_shards, report.shards.size());
+  EXPECT_EQ(report.shards[0].algorithm, "arbiter-tp");
+  EXPECT_TRUE(report.shards[0].hot);
+  EXPECT_EQ(report.shards.back().algorithm, "raymond");
+  // The demand split is the canonical Zipf vector.
+  const auto demand = workload::zipf_demand_vector(12, 0.9, 1'500, 42);
+  for (std::size_t r = 0; r < report.shards.size(); ++r) {
+    EXPECT_EQ(report.shards[r].demand, demand[r]) << "shard " << r;
+    EXPECT_EQ(report.shards[r].completed, demand[r]) << "shard " << r;
+  }
+  // SLO material is populated on loaded shards.
+  EXPECT_GT(report.shards[0].grant_p99, 0.0);
+  EXPECT_GE(report.shards[0].grant_p99, report.shards[0].grant_p50);
+  EXPECT_GT(report.grant_p99_worst, 0.0);
+  EXPECT_GT(report.fairness_min, 0.0);
+  EXPECT_LE(report.fairness_min, 1.0);
+}
+
+TEST(LockService, JobsFanOutIsByteIdentical) {
+  harness::register_builtin_algorithms();
+  harness::LockServiceConfig cfg = small_service();
+  auto manifest_of = [&cfg](std::size_t jobs) {
+    cfg.jobs = jobs;
+    const harness::LockServiceReport report =
+        harness::run_lock_service(cfg);
+    harness::ExperimentConfig mc;
+    mc.n_resources = cfg.n_resources;
+    mc.zipf_s = cfg.zipf_s;
+    mc.total_requests = cfg.total_demands;
+    harness::ExperimentResult mr;
+    mr.algorithm = "lock-service";
+    mr.completed = report.total_completed;
+    mr.drained = report.drained;
+    mr.lock_service =
+        std::make_shared<const harness::LockServiceReport>(report);
+    std::ostringstream os;
+    harness::write_run_manifest(os, {harness::RunRecord{mc, mr}});
+    return os.str();
+  };
+  const std::string serial = manifest_of(1);
+  // The full per-shard scorecard — every double included — is byte-stable
+  // for any worker count (shards are independently seeded simulators).
+  EXPECT_EQ(serial, manifest_of(8));
+  EXPECT_EQ(serial, manifest_of(0));  // 0 = hardware concurrency
+}
+
+TEST(LockService, JainFairnessIndex) {
+  EXPECT_DOUBLE_EQ(harness::jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(harness::jain_fairness({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(harness::jain_fairness({5, 5, 5}), 1.0);
+  // One tenant hogging everything: index collapses to 1/n.
+  EXPECT_NEAR(harness::jain_fairness({9, 0, 0}), 1.0 / 3.0, 1e-12);
 }
 
 }  // namespace

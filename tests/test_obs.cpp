@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/lock_service.hpp"
 #include "harness/manifest.hpp"
 #include "obs/sinks.hpp"
 #include "obs/span.hpp"
@@ -165,8 +166,65 @@ TEST(RunManifest, SchemaAndSpanBlockPresent) {
   EXPECT_NE(m.find("\"REQUEST\""), std::string::npos);
   EXPECT_NE(m.find("\"spans\""), std::string::npos);
   EXPECT_NE(m.find("\"token_wait\""), std::string::npos);
+  EXPECT_NE(m.find("\"grant_wait\""), std::string::npos);
   EXPECT_NE(m.find("\"transport\""), std::string::npos);
+  // Lock-service scenario keys (PR 9) are part of the config schema even
+  // for single-resource runs, so downstream tooling can rely on them.
+  EXPECT_NE(m.find("\"n_resources\":1"), std::string::npos);
+  EXPECT_NE(m.find("\"zipf_s\""), std::string::npos);
+  EXPECT_NE(m.find("\"shard_algo_hot\":\"arbiter-tp\""), std::string::npos);
+  EXPECT_NE(m.find("\"shard_algo_cold\":\"raymond\""), std::string::npos);
   // Balanced JSON at the top level: crude but catches envelope bugs.
+  EXPECT_EQ(std::count(m.begin(), m.end(), '{'),
+            std::count(m.begin(), m.end(), '}'));
+}
+
+TEST(RunManifest, LockServiceBlockSchema) {
+  harness::register_builtin_algorithms();
+  harness::LockServiceConfig ls;
+  ls.n_resources = 6;
+  ls.zipf_s = 1.1;
+  ls.total_demands = 400;
+  ls.hot_nodes = 4;
+  ls.cold_nodes = 2;
+  ls.think_mean = 0.5;
+  ls.batch_size = 4;
+  ls.seed = 7;
+  const harness::LockServiceReport report = harness::run_lock_service(ls);
+
+  harness::ExperimentConfig cfg = small_config();
+  cfg.n_resources = ls.n_resources;
+  cfg.zipf_s = ls.zipf_s;
+  harness::ExperimentResult result;
+  result.algorithm = "lock-service";
+  result.completed = report.total_completed;
+  result.drained = report.drained;
+  result.lock_service =
+      std::make_shared<const harness::LockServiceReport>(report);
+  std::ostringstream os;
+  harness::write_run_manifest(os, {harness::RunRecord{cfg, result}});
+  const std::string m = os.str();
+
+  EXPECT_NE(m.find("\"lock_service\""), std::string::npos);
+  EXPECT_NE(m.find("\"hot_shards\""), std::string::npos);
+  EXPECT_NE(m.find("\"grant_p99_worst\""), std::string::npos);
+  EXPECT_NE(m.find("\"fairness_min\""), std::string::npos);
+  EXPECT_NE(m.find("\"shards\":["), std::string::npos);
+  // Per-shard scorecard keys.
+  EXPECT_NE(m.find("\"grant_p50\""), std::string::npos);
+  EXPECT_NE(m.find("\"grant_p99\""), std::string::npos);
+  EXPECT_NE(m.find("\"fairness\""), std::string::npos);
+  EXPECT_NE(m.find("\"algorithm\":\"raymond\""), std::string::npos);
+  EXPECT_NE(m.find("\"hot\":true"), std::string::npos);
+  EXPECT_NE(m.find("\"hot\":false"), std::string::npos);
+  EXPECT_NE(m.find("\"drained\":true"), std::string::npos);
+  // One shard object per resource.
+  std::size_t shard_objects = 0;
+  for (std::size_t pos = m.find("\"resource\":"); pos != std::string::npos;
+       pos = m.find("\"resource\":", pos + 1)) {
+    ++shard_objects;
+  }
+  EXPECT_EQ(shard_objects, ls.n_resources);
   EXPECT_EQ(std::count(m.begin(), m.end(), '{'),
             std::count(m.begin(), m.end(), '}'));
 }
