@@ -56,7 +56,7 @@ dmx::harness::LockServiceConfig rung_config(std::size_t resources,
   ls.zipf_s = ls_zipf();
   ls.total_demands = demands;
   ls.hot_algorithm = "arbiter-tp";
-  ls.cold_algorithm = "raymond";
+  ls.cold_algorithm = "path-reversal";
   ls.hot_nodes = 16;
   ls.cold_nodes = 4;
   ls.think_mean = 1.0;
@@ -119,7 +119,7 @@ int main() {
   std::cout << "\n=== Sharded lock service — Zipf(" << ls_zipf()
             << ") demand over a resource ladder ===\n"
                "Hot shards (demand >= mean) run arbiter-tp/16 clients, the "
-               "cold tail\nraymond/4.  grant p99 is the per-shard "
+               "cold tail\npath-reversal/4.  grant p99 is the per-shard "
                "time-to-grant SLO (submit -> granted,\nspan grant_wait "
                "phase); fairness is Jain's index over per-client "
                "completions.\nEach rung runs serial and with "

@@ -27,7 +27,7 @@ trap 'rm -rf "$WORK"' EXIT
 FAILURES=0
 
 SERVICE=(--resources 16 --zipf-s 0.9 --n 6 --lambda 2.0 --requests 4000 \
-         --batch 8 --shard-algo hot=arbiter-tp,cold=raymond)
+         --batch 8 --shard-algo hot=arbiter-tp,cold=path-reversal)
 
 echo "=== lockservice smoke: Zipf service run + manifest validation"
 if "$SWEEP" "${SERVICE[@]}" --jobs 1 --emit-json "$WORK/serial.json" \
@@ -57,7 +57,7 @@ if [ -s "$WORK/serial.json" ]; then
   check_jq "dmx.run.v1 envelope" '.schema == "dmx.run.v1"'
   check_jq "lock-service config serialized" \
     '.runs[0].config | .n_resources == 16 and .zipf_s == 0.9 and
-       .shard_algo_hot == "arbiter-tp" and .shard_algo_cold == "raymond"'
+       .shard_algo_hot == "arbiter-tp" and .shard_algo_cold == "path-reversal"'
   check_jq "lock_service block with one shard per resource" \
     '.runs[0].result.lock_service.shards | length == 16'
   check_jq "every shard drained, zero safety violations" \

@@ -10,6 +10,11 @@
 #  4. The seeded mutant-token-regen bug IS caught, its counterexample file
 #     replays to the same violation, and two replay traces are
 #     byte-identical.
+#  5. path-reversal (Naimi–Trehel) is exhaustively clean at N=3 and N=4,
+#     and clean behind the reliable transport under adversarial drops of
+#     either of its message types.
+#  6. The seeded mutant-no-reversal bug (skipped probable-owner flip) IS
+#     caught as starvation and its counterexample replays byte-identically.
 #
 # Usage: scripts/verify_smoke.sh <path-to-dmx_verify>
 set -u
@@ -78,6 +83,41 @@ run_matrix_cell "N=4 lose-next PRIVILEGE" \
 run_matrix_cell "N=3 crash + restart" \
   --algo arbiter-tp --n 3 --requests 1 --quorum --slack 0 \
   --fault "t=0 crash 1; t=1 restart 1"
+echo
+
+echo "=== verify smoke: path-reversal exhaustive worlds (clean + reliable)"
+run_matrix_cell "path-reversal N=3" \
+  --algo path-reversal --n 3 --requests 1
+run_matrix_cell "path-reversal N=4" \
+  --algo path-reversal --n 4 --requests 1
+run_matrix_cell "path-reversal N=3 reliable, lose-next PR-REQUEST" \
+  --algo path-reversal --n 3 --requests 1 --reliable --slack 0 \
+  --fault "t=0 lose-next PR-REQUEST"
+run_matrix_cell "path-reversal N=3 reliable, lose-next PR-TOKEN" \
+  --algo path-reversal --n 3 --requests 1 --reliable --slack 0 \
+  --fault "t=0 lose-next PR-TOKEN"
+echo
+
+echo "=== verify smoke: mutant-no-reversal catch + counterexample replay"
+"$VERIFY" --algo mutant-no-reversal --n 3 --requests 1 \
+  --cex-out "$WORK/norev.cex" > "$WORK/norev.txt" 2>&1
+status=$?
+if [ "$status" -ne 1 ] || ! grep -q "VIOLATION starvation" "$WORK/norev.txt"; then
+  cat "$WORK/norev.txt"
+  echo "FAIL: seeded mutant-no-reversal bug was not caught (exit $status)"
+  FAILURES=$((FAILURES + 1))
+else
+  if "$VERIFY" --replay "$WORK/norev.cex" \
+       --trace-out "$WORK/nr1.jsonl" > /dev/null 2>&1 \
+     && "$VERIFY" --replay "$WORK/norev.cex" \
+       --trace-out "$WORK/nr2.jsonl" > /dev/null 2>&1 \
+     && cmp -s "$WORK/nr1.jsonl" "$WORK/nr2.jsonl"; then
+    echo "ok: mutant-no-reversal starves, counterexample replays byte-identically"
+  else
+    echo "FAIL: mutant-no-reversal counterexample did not replay byte-identically"
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
 echo
 
 echo "=== verify smoke: mutant catch + counterexample replay"

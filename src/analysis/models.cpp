@@ -52,4 +52,25 @@ double maekawa_messages_high(std::size_t n) {
   return 5.0 * std::sqrt(static_cast<double>(n));
 }
 
+double harmonic(std::size_t n) {
+  // Summed smallest-terms-first so H_n stays exact to double precision for
+  // every n the benches sweep.
+  double h = 0.0;
+  for (std::size_t k = n; k >= 1; --k) h += 1.0 / static_cast<double>(k);
+  return h;
+}
+
+double path_reversal_reversal_cost(std::size_t n) {
+  return harmonic(n) - 1.0;
+}
+
+double path_reversal_messages_avg(std::size_t n) {
+  return harmonic(n) - 1.0 / static_cast<double>(n);
+}
+
+double path_reversal_messages_asymptotic(std::size_t n) {
+  constexpr double kEulerGamma = 0.577215664901532860606512;
+  return std::log(static_cast<double>(n)) + kEulerGamma;
+}
+
 }  // namespace dmx::analysis

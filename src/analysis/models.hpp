@@ -62,4 +62,29 @@ double raymond_messages_light(std::size_t n);
 double maekawa_messages_low(std::size_t n);
 double maekawa_messages_high(std::size_t n);
 
+// --- Naimi–Trehel path reversal (Lavault, arXiv cs/0611098) ------------------
+//
+// Lavault's average-case analysis of path reversal: under uniformly random
+// requesters, the probable-owner tree's stationary distribution gives an
+// average REQUEST chain length of exactly H_n - 1 (the harmonic number
+// minus one).  A full CS acquisition in the sequential (one-at-a-time)
+// model then costs that chain plus one TOKEN message whenever the
+// requester is not already the root — probability (n-1)/n — so
+//
+//   messages/CS = (H_n - 1) + (n-1)/n = H_n - 1/n  ~  ln n + gamma.
+
+/// H_n = 1 + 1/2 + ... + 1/n.
+double harmonic(std::size_t n);
+
+/// Average REQUEST chain length (path-reversal cost): H_n - 1.
+double path_reversal_reversal_cost(std::size_t n);
+
+/// Average messages per CS in the sequential random-request model:
+/// H_n - 1/n.  This is the curve bench/table_pathreversal measures against.
+double path_reversal_messages_avg(std::size_t n);
+
+/// Asymptotic form ln(n) + gamma (Euler–Mascheroni); the measured curve
+/// converges to this as n grows — the Fig. 6-style convergence story.
+double path_reversal_messages_asymptotic(std::size_t n);
+
 }  // namespace dmx::analysis

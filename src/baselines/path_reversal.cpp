@@ -1,0 +1,167 @@
+#include "baselines/path_reversal.hpp"
+
+#include <stdexcept>
+
+namespace dmx::baselines {
+
+namespace {
+
+struct PrRequestMsg final : net::Msg<PrRequestMsg> {
+  DMX_REGISTER_MESSAGE(PrRequestMsg, "PR-REQUEST");
+  net::NodeId requester;      ///< The node that wants the CS (not the hop src).
+  std::uint64_t request_id;   ///< Its CsRequest id, for lifecycle spans.
+  PrRequestMsg(net::NodeId j, std::uint64_t rid)
+      : requester(j), request_id(rid) {}
+  [[nodiscard]] std::string describe() const override {
+    return "PR-REQUEST(from=" + std::to_string(requester.value()) +
+           ", req=" + std::to_string(request_id) + ")";
+  }
+};
+
+struct PrTokenMsg final : net::Msg<PrTokenMsg> {
+  DMX_REGISTER_MESSAGE(PrTokenMsg, "PR-TOKEN");
+};
+
+}  // namespace
+
+PathReversalMutex::PathReversalMutex(std::size_t n_nodes, Defect defect)
+    : n_(n_nodes), defect_(defect) {
+  if (n_nodes == 0) {
+    throw std::invalid_argument("PathReversal: empty cluster");
+  }
+}
+
+void PathReversalMutex::on_start() {
+  if (id().value() == 0) {
+    root_self_ = true;
+    has_token_ = true;
+  } else {
+    owner_ = net::NodeId{0};
+  }
+}
+
+std::string PathReversalMutex::debug_state() const {
+  std::string out(algorithm_name());
+  out += ": owner=";
+  out += root_self_ ? "self" : std::to_string(owner_.value());
+  out += " token=";
+  out += has_token_ ? "held" : "no";
+  if (in_cs_) out += " in-cs";
+  if (pending_) out += " pending(req " + std::to_string(pending_->request_id) + ")";
+  out += " next=";
+  out += next_.valid() ? std::to_string(next_.value()) : "none";
+  return out;
+}
+
+void PathReversalMutex::request(const mutex::CsRequest& req) {
+  if (pending_.has_value()) {
+    throw std::logic_error("PathReversal::request: already pending");
+  }
+  pending_ = req;
+  if (!root_self_) {
+    // Climb the probable-owner chain; we become the new root of our own
+    // view immediately (every node the REQUEST crosses will re-point at
+    // us, so the chain collapses onto this node).
+    emit(obs::kEvReqForwarded, req.request_id, owner_.value());
+    send(owner_, net::make_payload<PrRequestMsg>(id(), req.request_id));
+    root_self_ = true;
+    owner_ = net::NodeId{};
+    return;
+  }
+  if (has_token_) {
+    // Idle root holds the token (the structural invariant): zero messages.
+    in_cs_ = true;
+    grant(*pending_);
+  }
+  // else: root without token — only reachable when a seeded defect has
+  // stranded the token elsewhere; stay pending so the starvation proof,
+  // not a crash, reports it.
+}
+
+void PathReversalMutex::release() {
+  in_cs_ = false;
+  pending_.reset();
+  if (next_.valid()) {
+    pass_token_to(next_);
+    next_ = net::NodeId{};
+    next_req_id_ = 0;
+  }
+}
+
+void PathReversalMutex::pass_token_to(net::NodeId dst) {
+  has_token_ = false;
+  send(dst, net::make_payload<PrTokenMsg>());
+}
+
+void PathReversalMutex::on_request_msg(std::int32_t from,
+                                       std::uint64_t req_id) {
+  const net::NodeId j{from};
+  if (root_self_) {
+    if (pending_.has_value()) {
+      // Busy root: j becomes the token's successor (distributed FIFO).
+      next_ = j;
+      next_req_id_ = req_id;
+      emit(obs::kEvReqQueued, req_id, id().value());
+    } else if (has_token_) {
+      // Idle root: hand the token over directly.
+      pass_token_to(j);
+    } else {
+      // Root, idle, token-less: unreachable in the correct protocol (an
+      // idle root holds the token) — but the no-reversal mutant lands
+      // here after giving the token away while staying root.  Queue the
+      // requester so the outcome is a provable starvation, not a crash.
+      next_ = j;
+      next_req_id_ = req_id;
+      emit(obs::kEvReqQueued, req_id, id().value());
+    }
+  } else {
+    // Interior node: relay toward the probable owner.
+    emit(obs::kEvReqForwarded, req_id, owner_.value());
+    send(owner_, net::make_payload<PrRequestMsg>(j, req_id));
+  }
+  if (defect_ != Defect::kNoReversal) {
+    // The path reversal itself: every node the REQUEST crosses (and the
+    // old root) now believes j is the probable owner.
+    root_self_ = false;
+    owner_ = j;
+  }
+}
+
+void PathReversalMutex::on_token_msg() {
+  has_token_ = true;
+  if (pending_.has_value() && !in_cs_) {
+    in_cs_ = true;
+    grant(*pending_);
+  } else if (next_.valid()) {
+    // Spurious arrival (cannot normally happen): keep the token moving.
+    pass_token_to(next_);
+    next_ = net::NodeId{};
+    next_req_id_ = 0;
+  }
+}
+
+const runtime::MsgDispatcher<PathReversalMutex>&
+PathReversalMutex::dispatch_table() {
+  static const auto kTable = [] {
+    runtime::MsgDispatcher<PathReversalMutex> t;
+    t.set(PrRequestMsg::message_kind(),
+          [](PathReversalMutex& self, const net::Envelope& env) {
+            const auto& req = static_cast<const PrRequestMsg&>(*env.payload);
+            self.on_request_msg(req.requester.value(), req.request_id);
+          });
+    t.set(PrTokenMsg::message_kind(),
+          [](PathReversalMutex& self, const net::Envelope&) {
+            self.on_token_msg();
+          });
+    return t;
+  }();
+  return kTable;
+}
+
+void PathReversalMutex::handle(const net::Envelope& env) {
+  if (!dispatch_table().dispatch(*this, env)) {
+    throw std::logic_error("PathReversal: unknown message");
+  }
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,82 @@
+// Naimi–Trehel path-reversal token algorithm (JPDC 1996, "A log(N)
+// distributed mutual exclusion algorithm based on path reversal").
+//
+// The one baseline that actually scales logarithmically.  Each node keeps
+// two pointers into a dynamic structure:
+//
+//   owner  the "probable owner" — the root of a dynamic tree the token
+//          lives at (or is heading toward).  A REQUEST travels along the
+//          owner chain to the current root, and *every node it crosses
+//          re-points its owner at the requester* (path reversal), so the
+//          tree keeps collapsing toward recent requesters.
+//   next   a distributed FIFO queue: the root, if busy, remembers exactly
+//          one successor; the token hops along next pointers.
+//
+// A request therefore costs (chain length) REQUEST hops plus one TOKEN
+// hop, and Lavault's average-case analysis of path reversal (arXiv
+// cs/0611098) proves the stationary average chain length over uniform
+// random requesters is exactly H_n - 1, i.e. O(log n) messages per CS
+// (closed forms in analysis/models.hpp, validated by
+// bench/table_pathreversal).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mutex/api.hpp"
+#include "runtime/dispatch.hpp"
+
+namespace dmx::baselines {
+
+class PathReversalMutex final : public mutex::MutexAlgorithm {
+ public:
+  /// Seeded-defect switch for the verification mutation harness
+  /// (verify/mutants.cpp): kNoReversal skips the probable-owner flip when a
+  /// REQUEST crosses a node, so the old root turns into a black hole —
+  /// requests pile up behind a token that never routes back, and the
+  /// explorer's terminal starvation proof must fire.
+  enum class Defect : std::uint8_t { kNone, kNoReversal };
+
+  explicit PathReversalMutex(std::size_t n_nodes,
+                             Defect defect = Defect::kNone);
+
+  void request(const mutex::CsRequest& req) override;
+  void release() override;
+  [[nodiscard]] std::string_view algorithm_name() const override {
+    return defect_ == Defect::kNone ? "path-reversal" : "mutant-no-reversal";
+  }
+  [[nodiscard]] std::string debug_state() const override;
+
+  [[nodiscard]] std::optional<bool> holds_token() const override {
+    return has_token_;
+  }
+
+  /// True while this node is the root of the probable-owner tree (its
+  /// owner pointer designates itself).
+  [[nodiscard]] bool is_root() const { return root_self_; }
+
+ protected:
+  void on_start() override;
+  void handle(const net::Envelope& env) override;
+
+ private:
+  // Built in the .cpp, where the protocol's message types live.
+  static const runtime::MsgDispatcher<PathReversalMutex>& dispatch_table();
+
+  void on_request_msg(std::int32_t from, std::uint64_t req_id);
+  void on_token_msg();
+  void pass_token_to(net::NodeId dst);
+
+  std::size_t n_;
+  Defect defect_;
+  bool root_self_ = false;  ///< owner designates this node (tree root).
+  net::NodeId owner_;       ///< Probable owner when not root.
+  net::NodeId next_;        ///< Token successor; invalid = none queued.
+  std::uint64_t next_req_id_ = 0;  ///< Request id queued behind next_.
+  bool has_token_ = false;
+  bool in_cs_ = false;
+  std::optional<mutex::CsRequest> pending_;
+};
+
+}  // namespace dmx::baselines

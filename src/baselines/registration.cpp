@@ -3,6 +3,7 @@
 #include "baselines/centralized.hpp"
 #include "baselines/lamport.hpp"
 #include "baselines/maekawa.hpp"
+#include "baselines/path_reversal.hpp"
 #include "baselines/raymond.hpp"
 #include "baselines/ricart_agrawala.hpp"
 #include "baselines/singhal_dynamic.hpp"
@@ -32,6 +33,9 @@ void register_all() {
   });
   reg.add("raymond", [](const mutex::FactoryContext& ctx) {
     return std::make_unique<RaymondMutex>(ctx.n_nodes);
+  });
+  reg.add("path-reversal", [](const mutex::FactoryContext& ctx) {
+    return std::make_unique<PathReversalMutex>(ctx.n_nodes);
   });
   reg.add("maekawa", [](const mutex::FactoryContext& ctx) {
     return std::make_unique<MaekawaMutex>(ctx.n_nodes);

@@ -236,7 +236,7 @@ usage: dmx_sweep [flags]
                          shards; shards fan out over --jobs workers
   --zipf-s S             Zipf popularity skew          [0.9]
   --shard-algo SPEC      per-shard algorithms, e.g.
-                         hot=arbiter-tp,cold=raymond (either key alone ok)
+                         hot=arbiter-tp,cold=path-reversal (key alone ok)
   --batch B              LockSpace demand batching     [16] (0 = unbatched)
   --trace-out FILE       write a structured event trace of the sweep's
                          first run (first lambda, first seed)

@@ -27,8 +27,8 @@
 //                           aggregate demand, per-shard SLO table)
 //   --zipf-s S              Zipf popularity skew across resources
 //   --shard-algo SPEC       per-shard algorithm choice, e.g.
-//                           hot=arbiter-tp,cold=raymond (either key may be
-//                           given alone)
+//                           hot=arbiter-tp,cold=path-reversal (either key
+//                           may be given alone)
 //   --batch B               LockSpace demand batching (0 = unbatched)
 //   --trace-out FILE        structured event trace of the first run
 //   --trace-format FMT      jsonl | chrome | text   (default jsonl)
@@ -76,7 +76,7 @@ struct CliOptions {
   std::size_t n_resources = 1;
   double zipf_s = 0.9;  ///< Zipf skew across resources (0 = uniform).
   std::string shard_algo_hot = "arbiter-tp";
-  std::string shard_algo_cold = "raymond";
+  std::string shard_algo_cold = "path-reversal";
   std::size_t batch = 16;  ///< LockSpace demand batching (0 = unbatched).
   /// Structured trace of the sweep's first run (first lambda, first seed);
   /// empty = no trace.  Format: "jsonl", "chrome" (Perfetto-loadable), or

@@ -106,7 +106,7 @@ struct ExperimentConfig {
   /// Per-shard algorithm choice: hot shards (demand at or above the mean)
   /// run shard_algo_hot, the rest run shard_algo_cold.
   std::string shard_algo_hot = "arbiter-tp";
-  std::string shard_algo_cold = "raymond";
+  std::string shard_algo_cold = "path-reversal";
 
   /// Validate without running: returns one actionable message per problem
   /// (unknown algorithm name, non-positive rates, malformed fault plan,
@@ -314,8 +314,9 @@ std::vector<ExperimentResult> run_replicated(ExperimentConfig cfg,
                                              std::size_t replications);
 
 /// Register every algorithm shipped with the library ("arbiter-tp",
-/// "arbiter-tp-sf", "suzuki-kasami", "raymond", "ricart-agrawala",
-/// "singhal", "maekawa", "lamport", "centralized") in the global registry.
+/// "arbiter-tp-sf", "suzuki-kasami", "raymond", "path-reversal",
+/// "ricart-agrawala", "singhal", "maekawa", "lamport", "centralized",
+/// "token-ring", "tree-quorum") in the global registry.
 /// Idempotent.
 void register_builtin_algorithms();
 

@@ -14,7 +14,8 @@
 //     (demand >= the mean, i.e. demand * n_resources >= total) run the
 //     hot algorithm over `hot_nodes` clients — the paper's arbiter
 //     token-passing by default, built for contention; cold shards run a
-//     cheaper topology algorithm (raymond by default) over fewer clients.
+//     cheaper topology algorithm (path-reversal by default) over fewer
+//     clients.
 //   * Each shard is driven by a closed-loop client population
 //     (workload::ClosedLoopGenerator, generic SubmitFn binding): every
 //     client thinks ~Exp(think_mean), calls LockSpace::acquire, and
@@ -49,7 +50,7 @@ struct LockServiceConfig {
   /// Aggregate demand across all resources, Zipf-split per shard.
   std::uint64_t total_demands = 100'000;
   std::string hot_algorithm = "arbiter-tp";
-  std::string cold_algorithm = "raymond";
+  std::string cold_algorithm = "path-reversal";
   std::size_t hot_nodes = 16;  ///< Clients on a hot shard.
   std::size_t cold_nodes = 8;  ///< Clients on a cold shard.
   double t_msg = 0.1;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "baselines/path_reversal.hpp"
 #include "mutex/api.hpp"
 #include "mutex/registry.hpp"
 #include "net/payload.hpp"
@@ -232,6 +233,13 @@ void register_mutant_algorithms() {
           mutant_factory(NaiveTokenMutex::Bug::kReleaseAmnesia));
   reg.add("mutant-amnesiac-restart",
           mutant_factory(NaiveTokenMutex::Bug::kAmnesiacRestart));
+  // Real-baseline mutation: Naimi–Trehel that forgets the path reversal.
+  // The old root hands the token away but keeps believing it is the root,
+  // so later REQUESTs park behind it forever -> starvation proof.
+  reg.add("mutant-no-reversal", [](const mutex::FactoryContext& ctx) {
+    return std::make_unique<baselines::PathReversalMutex>(
+        ctx.n_nodes, baselines::PathReversalMutex::Defect::kNoReversal);
+  });
 }
 
 }  // namespace dmx::verify

@@ -15,13 +15,20 @@
 //                            -> token duplication, reachable only through a
 //                            crash + restart choice sequence
 //
+// Plus one mutation of a *real* baseline (baselines/path_reversal.hpp):
+//
+//   mutant-no-reversal       Naimi–Trehel that skips the probable-owner flip
+//                            when a REQUEST crosses a node: the old root
+//                            gives the token away but stays "root", so later
+//                            requests park behind it forever -> starvation
+//
 // The verify test suite asserts that exploration finds each seeded bug and
 // that the recorded counterexamples replay byte-identically.
 #pragma once
 
 namespace dmx::verify {
 
-/// Registers the four mutant algorithms in mutex::Registry (idempotent).
+/// Registers the mutant algorithms in mutex::Registry (idempotent).
 /// Numeric parameter "regen_delay" (default 0.3) sets the fabrication
 /// watchdog of mutant-token-regen; keep it within time_slack of a message
 /// delay or the racing timer is never an enabled choice.

@@ -38,6 +38,49 @@ TEST(AnalyticModels, BaselineValues) {
   EXPECT_NEAR(analysis::maekawa_messages_high(16), 20.0, 1e-12);
 }
 
+TEST(AnalyticModels, LavaultPathReversalValues) {
+  // Small-n values computable by hand from the stationary tree
+  // distribution: e_2 = H_2 - 1 = 1/2, e_3 = H_3 - 1 = 5/6.
+  EXPECT_NEAR(analysis::harmonic(1), 1.0, 1e-12);
+  EXPECT_NEAR(analysis::harmonic(4), 25.0 / 12.0, 1e-12);
+  EXPECT_NEAR(analysis::path_reversal_reversal_cost(2), 0.5, 1e-12);
+  EXPECT_NEAR(analysis::path_reversal_reversal_cost(3), 5.0 / 6.0, 1e-12);
+  // messages/CS = H_n - 1/n: n=2 -> 1.0, n=10 -> 2.8289682539682537.
+  EXPECT_NEAR(analysis::path_reversal_messages_avg(2), 1.0, 1e-12);
+  EXPECT_NEAR(analysis::path_reversal_messages_avg(10), 2.8289682539682537,
+              1e-12);
+  // The asymptotic form ln n + gamma approaches the exact curve from
+  // above (H_n = ln n + gamma + 1/(2n) - ..., minus the 1/n token term),
+  // with the gap shrinking like 1/(2n).
+  for (std::size_t n : {8u, 32u, 128u, 512u}) {
+    const double exact = analysis::path_reversal_messages_avg(n);
+    const double asym = analysis::path_reversal_messages_asymptotic(n);
+    EXPECT_GT(asym, exact);
+    EXPECT_NEAR(asym - exact, 0.5 / static_cast<double>(n),
+                0.5 / static_cast<double>(n));
+  }
+}
+
+TEST(AnalyticModels, MeasuredPathReversalMatchesLavaultCurve) {
+  // The headline validation: at light load with uniform random requesters,
+  // the measured mean messages/CS must sit on Lavault's H_n - 1/n curve.
+  for (std::size_t n : {4u, 8u, 16u}) {
+    harness::ExperimentConfig cfg;
+    cfg.algorithm = "path-reversal";
+    cfg.n_nodes = n;
+    cfg.lambda = 0.02;
+    cfg.total_requests = 20'000;
+    cfg.seed = 7;
+    const auto r = harness::run_experiment(cfg);
+    EXPECT_TRUE(r.drained);
+    EXPECT_EQ(r.safety_violations, 0u);
+    const double curve = analysis::path_reversal_messages_avg(n);
+    EXPECT_NEAR(r.messages_per_cs, curve, 0.08 * curve)
+        << "n=" << n << " measured=" << r.messages_per_cs
+        << " analytic=" << curve;
+  }
+}
+
 TEST(Harness, ReplicationProducesIndependentSeeds) {
   harness::ExperimentConfig cfg;
   cfg.n_nodes = 5;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/maekawa.hpp"
+#include "baselines/path_reversal.hpp"
 #include "baselines/raymond.hpp"
 #include "baselines/singhal_dynamic.hpp"
 #include "baselines/suzuki_kasami.hpp"
@@ -118,6 +119,81 @@ TEST(Raymond, HighLoadApproachesFourMessages) {
   const auto r = harness::run_experiment(cfg);
   EXPECT_TRUE(r.drained);
   EXPECT_NEAR(r.messages_per_cs, 4.0, 0.8);  // the paper's "approximately 4"
+}
+
+// --- Naimi–Trehel path reversal ---------------------------------------------
+
+TEST(PathReversal, RootSelfRequestIsFree) {
+  MutexCluster tb("path-reversal", 5, no_params());
+  tb.submit_at(0.0, 0);  // node 0 starts as root holding the token
+  tb.sim().run();
+  EXPECT_EQ(tb.total_completed(), 1u);
+  EXPECT_EQ(tb.network().stats().sent, 0u);
+}
+
+TEST(PathReversal, FirstRemoteRequestIsTwoMessages) {
+  MutexCluster tb("path-reversal", 5, no_params());
+  tb.submit_at(0.0, 3);  // everyone initially points straight at node 0
+  tb.sim().run();
+  EXPECT_EQ(tb.total_completed(), 1u);
+  const auto by_type = tb.network().stats().sent_by_type();
+  EXPECT_EQ(by_type.get("PR-REQUEST"), 1u);
+  EXPECT_EQ(by_type.get("PR-TOKEN"), 1u);
+  auto* requester = dynamic_cast<PathReversalMutex*>(tb.algos[3]);
+  ASSERT_NE(requester, nullptr);
+  EXPECT_TRUE(requester->is_root());
+  EXPECT_TRUE(requester->holds_token().value_or(false));
+}
+
+TEST(PathReversal, PathReversalCollapsesTheChain) {
+  // Serial requests 1, 2, 3, then 0 again.  Every REQUEST that crosses
+  // node 0 re-points it at the requester, so the chain through 0 never
+  // grows beyond one interior hop, and node 0's own climb at the end goes
+  // straight to the current root:
+  //   by 1: 1 REQ + 1 TOK   (0 idle root hands over directly)
+  //   by 2: 2 REQ + 1 TOK   (0 forwards to 1, the reversed owner)
+  //   by 3: 2 REQ + 1 TOK   (0 forwards to 2)
+  //   by 0: 1 REQ + 1 TOK   (0 already re-pointed at 3 by the reversal)
+  MutexCluster tb("path-reversal", 4, no_params());
+  tb.submit_at(0.0, 1);
+  tb.submit_at(1.0, 2);
+  tb.submit_at(2.0, 3);
+  tb.submit_at(3.0, 0);
+  tb.sim().run();
+  EXPECT_EQ(tb.total_completed(), 4u);
+  const auto by_type = tb.network().stats().sent_by_type();
+  EXPECT_EQ(by_type.get("PR-REQUEST"), 6u);
+  EXPECT_EQ(by_type.get("PR-TOKEN"), 4u);
+  auto* last = dynamic_cast<PathReversalMutex*>(tb.algos[0]);
+  ASSERT_NE(last, nullptr);
+  EXPECT_TRUE(last->is_root());
+  EXPECT_TRUE(last->holds_token().value_or(false));
+}
+
+TEST(PathReversal, ConcurrentRequestersChainViaNext) {
+  // Simultaneous requests: the busy root queues one requester in its next
+  // slot and the token hops along the distributed FIFO — still exactly one
+  // TOKEN message per remote grant.
+  MutexCluster tb("path-reversal", 4, no_params());
+  tb.submit_at(0.0, 1);
+  tb.submit_at(0.0, 2);
+  tb.submit_at(0.0, 3);
+  tb.sim().run();
+  EXPECT_EQ(tb.total_completed(), 3u);
+  EXPECT_EQ(tb.network().stats().sent_by_type().get("PR-TOKEN"), 3u);
+}
+
+TEST(PathReversal, LightLoadMatchesLavaultAverage) {
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = "path-reversal";
+  cfg.n_nodes = 10;
+  cfg.lambda = 0.01;
+  cfg.total_requests = 10'000;
+  cfg.seed = 12;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.drained);
+  // Lavault: H_10 - 1/10 = 2.829 messages/CS under uniform random request.
+  EXPECT_NEAR(r.messages_per_cs, 2.829, 0.25);
 }
 
 // --- Maekawa ----------------------------------------------------------------

@@ -128,7 +128,7 @@ TEST(Cli, ParsesLockServiceFlags) {
   EXPECT_EQ(d.n_resources, 1u);
   EXPECT_DOUBLE_EQ(d.zipf_s, 0.9);
   EXPECT_EQ(d.shard_algo_hot, "arbiter-tp");
-  EXPECT_EQ(d.shard_algo_cold, "raymond");
+  EXPECT_EQ(d.shard_algo_cold, "path-reversal");
   EXPECT_EQ(d.batch, 16u);
 
   const auto o = parse({"--resources", "64", "--zipf-s", "1.2",
@@ -168,7 +168,7 @@ TEST(Cli, RunLockServiceProducesShardTable) {
   EXPECT_NE(out.find("grant p99"), std::string::npos);
   EXPECT_NE(out.find("fairness"), std::string::npos);
   EXPECT_NE(out.find("arbiter-tp"), std::string::npos);
-  EXPECT_NE(out.find("raymond"), std::string::npos);
+  EXPECT_NE(out.find("path-reversal"), std::string::npos);
   EXPECT_EQ(out.find("VIOLATED"), std::string::npos);
 }
 

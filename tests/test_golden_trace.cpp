@@ -61,6 +61,51 @@ TEST(GoldenTrace, IsBitDeterministic) {
   EXPECT_EQ(run_paper_example_trace(), run_paper_example_trace());
 }
 
+std::string run_path_reversal_trace() {
+  testbed::MutexCluster tb("path-reversal", 4, mutex::ParamSet{},
+                           /*t_msg=*/1.0, /*t_exec=*/1.0);
+  std::ostringstream os;
+  tb.network().set_tap([&](const net::Envelope& env, bool dropped) {
+    os << env.sent_at.to_units() << " " << env.src << "->" << env.dst << " "
+       << env.payload->describe() << (dropped ? " DROPPED" : "") << "\n";
+  });
+  tb.submit_at(0.0, 1);
+  tb.submit_at(0.5, 2);
+  tb.submit_at(6.0, 3);
+  tb.sim().run();
+  EXPECT_EQ(tb.total_completed(), 3u);
+  EXPECT_EQ(tb.monitor.violations(), 0u);
+  return os.str();
+}
+
+// The same wire-pinning for the Naimi–Trehel baseline: one direct
+// hand-off, one REQUEST relayed through a reversed owner pointer into the
+// busy root's next slot, and one late request that profits from the
+// reversals (node 0 forwards straight to the current root).
+TEST(GoldenTrace, PathReversalMessageSequence) {
+  const std::string expected =
+      // Node 1 and node 2 both climb toward node 0.
+      "0 1->0 PR-REQUEST(from=1, req=1)\n"
+      "0.5 2->0 PR-REQUEST(from=2, req=2)\n"
+      // Idle root 0 hands the token to 1 and re-points at it ...
+      "1 0->1 PR-TOKEN\n"
+      // ... so node 2's request is relayed to node 1 (and 0 re-points
+      // at 2), where it lands in the busy root's next slot.
+      "1.5 0->1 PR-REQUEST(from=2, req=2)\n"
+      // Node 1's CS [2,3]; release sends the token along next.
+      "3 1->2 PR-TOKEN\n"
+      // Node 3 still points at 0, but 0's pointer was reversed to 2 by
+      // node 2's relay — the request takes exactly one interior hop.
+      "6 3->0 PR-REQUEST(from=3, req=3)\n"
+      "7 0->2 PR-REQUEST(from=3, req=3)\n"
+      "8 2->3 PR-TOKEN\n";
+  EXPECT_EQ(run_path_reversal_trace(), expected);
+}
+
+TEST(GoldenTrace, PathReversalIsBitDeterministic) {
+  EXPECT_EQ(run_path_reversal_trace(), run_path_reversal_trace());
+}
+
 std::string run_fault_campaign_trace() {
   mutex::ParamSet p;
   p.set("recovery", 1.0)

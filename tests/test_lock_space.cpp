@@ -77,7 +77,7 @@ TEST(LockSpace, WorksWithEveryRegisteredAlgorithm) {
   harness::register_builtin_algorithms();
   for (const std::string algo :
        {"arbiter-tp", "suzuki-kasami", "ricart-agrawala", "raymond",
-        "centralized"}) {
+        "path-reversal", "centralized"}) {
     auto cfg = base_config();
     cfg.algorithm = algo;
     LockSpace space(cfg);
@@ -361,7 +361,7 @@ TEST(LockService, MixedShardAlgorithmsZeroViolations) {
   EXPECT_LT(report.hot_shards, report.shards.size());
   EXPECT_EQ(report.shards[0].algorithm, "arbiter-tp");
   EXPECT_TRUE(report.shards[0].hot);
-  EXPECT_EQ(report.shards.back().algorithm, "raymond");
+  EXPECT_EQ(report.shards.back().algorithm, "path-reversal");
   // The demand split is the canonical Zipf vector.
   const auto demand = workload::zipf_demand_vector(12, 0.9, 1'500, 42);
   for (std::size_t r = 0; r < report.shards.size(); ++r) {

@@ -173,7 +173,7 @@ TEST(RunManifest, SchemaAndSpanBlockPresent) {
   EXPECT_NE(m.find("\"n_resources\":1"), std::string::npos);
   EXPECT_NE(m.find("\"zipf_s\""), std::string::npos);
   EXPECT_NE(m.find("\"shard_algo_hot\":\"arbiter-tp\""), std::string::npos);
-  EXPECT_NE(m.find("\"shard_algo_cold\":\"raymond\""), std::string::npos);
+  EXPECT_NE(m.find("\"shard_algo_cold\":\"path-reversal\""), std::string::npos);
   // Balanced JSON at the top level: crude but catches envelope bugs.
   EXPECT_EQ(std::count(m.begin(), m.end(), '{'),
             std::count(m.begin(), m.end(), '}'));
@@ -214,7 +214,7 @@ TEST(RunManifest, LockServiceBlockSchema) {
   EXPECT_NE(m.find("\"grant_p50\""), std::string::npos);
   EXPECT_NE(m.find("\"grant_p99\""), std::string::npos);
   EXPECT_NE(m.find("\"fairness\""), std::string::npos);
-  EXPECT_NE(m.find("\"algorithm\":\"raymond\""), std::string::npos);
+  EXPECT_NE(m.find("\"algorithm\":\"path-reversal\""), std::string::npos);
   EXPECT_NE(m.find("\"hot\":true"), std::string::npos);
   EXPECT_NE(m.find("\"hot\":false"), std::string::npos);
   EXPECT_NE(m.find("\"drained\":true"), std::string::npos);

@@ -51,6 +51,11 @@ TEST_P(AlgorithmProperties, SafeLiveAndInBand) {
   } else if (algo == "raymond") {
     EXPECT_LT(m, 8.0);
     EXPECT_GT(m, 1.0);
+  } else if (algo == "path-reversal") {
+    // Lavault's stationary average is H_n - 1/n at light load; contention
+    // only shortens the probable-owner chains, never lengthens them.
+    EXPECT_GT(m, 1.0);
+    EXPECT_LT(m, analysis::path_reversal_messages_avg(n) * 1.6);
   } else if (algo == "maekawa") {
     EXPECT_GE(m, analysis::maekawa_messages_low(n) - 0.5);
     EXPECT_LT(m, 2.5 * analysis::maekawa_messages_high(n));
@@ -67,7 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values("arbiter-tp", "arbiter-tp-sf", "centralized",
                           "suzuki-kasami", "ricart-agrawala", "lamport",
-                          "raymond", "maekawa", "singhal", "token-ring"),
+                          "raymond", "path-reversal", "maekawa", "singhal",
+                          "token-ring"),
         ::testing::Values(0.02, 0.5, 3.0),
         ::testing::Values<std::uint64_t>(1, 2)),
     [](const ::testing::TestParamInfo<Param>& pinfo) {
@@ -131,7 +137,7 @@ TEST_P(SeedScheduleInvariant, ReplicationIndependentOfBatchAndWorker) {
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, SeedScheduleInvariant,
                          ::testing::Values("arbiter-tp", "suzuki-kasami",
-                                           "maekawa"),
+                                           "maekawa", "path-reversal"),
                          [](const ::testing::TestParamInfo<std::string>& i) {
                            std::string name = i.param;
                            for (auto& c : name) {
@@ -215,7 +221,8 @@ INSTANTIATE_TEST_SUITE_P(
     Jitter, DelayRobustness,
     ::testing::Combine(::testing::Values("arbiter-tp", "suzuki-kasami",
                                          "ricart-agrawala", "raymond",
-                                         "lamport", "centralized"),
+                                         "path-reversal", "lamport",
+                                         "centralized"),
                        ::testing::Values(0, 1)),
     [](const ::testing::TestParamInfo<std::tuple<std::string, int>>& pinfo) {
       std::string name = std::get<0>(pinfo.param);

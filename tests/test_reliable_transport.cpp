@@ -346,6 +346,27 @@ TEST(ReliableTransport, EveryAlgorithmCompletesLossyCampaign) {
   }
 }
 
+// The path-reversal baseline keeps exactly one token in flight and has no
+// retransmission of its own, so heavy targeted loss of its two message
+// types is the worst case the transport must absorb for it.
+TEST(ReliableTransport, PathReversalSurvivesTargetedTokenLoss) {
+  harness::register_builtin_algorithms();
+  harness::ExperimentConfig cfg;
+  cfg.algorithm = "path-reversal";
+  cfg.n_nodes = 8;
+  cfg.lambda = 0.4;
+  cfg.total_requests = 120;
+  cfg.seed = 9;
+  cfg.transport = harness::TransportKind::kReliable;
+  cfg.fault_plan =
+      "t=2 loss PR-TOKEN=0.4 until=60; t=2 loss PR-REQUEST=0.3 until=60";
+  const harness::ExperimentResult r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_FALSE(r.stalled) << r.stall_diagnosis;
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.completed, r.submitted);
+}
+
 // Raw transport must not grow any reliability state: same run, raw
 // transport, all transport counters stay zero.
 TEST(ReliableTransport, RawTransportKeepsCountersZero) {

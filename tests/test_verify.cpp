@@ -46,6 +46,39 @@ TEST(Explorer, SuzukiKasamiN3IsExhaustivelyClean) {
   EXPECT_EQ(res.stats.terminal, 18u);
 }
 
+TEST(Explorer, PathReversalN3IsExhaustivelyClean) {
+  const VerifyResult res = explore(base_config("path-reversal"));
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.truncated, 0u);
+  EXPECT_EQ(res.stats.schedules, 20u);
+  EXPECT_EQ(res.stats.terminal, 10u);
+  EXPECT_EQ(res.stats.sleep_blocked, 10u);
+}
+
+TEST(Explorer, PathReversalN4IsExhaustivelyClean) {
+  VerifyConfig cfg = base_config("path-reversal");
+  cfg.n_nodes = 4;
+  const VerifyResult res = explore(cfg);
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.schedules, 168u);
+  EXPECT_EQ(res.stats.terminal, 102u);
+  EXPECT_EQ(res.stats.sleep_blocked, 66u);
+}
+
+TEST(Explorer, PathReversalN3TwoRequestsEachIsClean) {
+  // Back-to-back requests exercise re-entry through a reversed tree (the
+  // second round starts from whatever probable-owner shape round one left).
+  VerifyConfig cfg = base_config("path-reversal");
+  cfg.requests_per_node = 2;
+  const VerifyResult res = explore(cfg);
+  EXPECT_TRUE(res.ok()) << res.violation->describe();
+  EXPECT_TRUE(res.stats.complete);
+  EXPECT_EQ(res.stats.schedules, 101u);
+  EXPECT_EQ(res.stats.terminal, 68u);
+}
+
 TEST(Explorer, ArbiterWithRecoverySurvivesCrashChoices) {
   VerifyConfig cfg = base_config("arbiter-tp");
   cfg.params.set("recovery", 1.0);
@@ -105,6 +138,41 @@ TEST(Mutants, AmnesiacRestartIsOnlyWrongUnderCrashRestart) {
   const VerifyResult res = explore(cfg);
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kMutualExclusion);
+}
+
+TEST(Mutants, NoReversalCausesStarvation) {
+  // Naimi–Trehel minus the probable-owner flip: the old root gives the
+  // token away but stays root, so a later REQUEST parks behind it (and a
+  // busy root's single next slot gets overwritten) — a requester starves.
+  const VerifyResult res = explore(base_config("mutant-no-reversal"));
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kStarvation);
+  ASSERT_FALSE(res.counterexample.empty());
+
+  // The schedule round-trips through dmx.cex.v1 and replays to the same
+  // violation.
+  Counterexample cex;
+  cex.config = base_config("mutant-no-reversal");
+  cex.violation_kind =
+      std::string(mutex::violation_kind_name(res.violation->kind));
+  cex.choices = res.counterexample;
+  const Counterexample back = Counterexample::parse(cex.to_string());
+  EXPECT_EQ(back.choices, cex.choices);
+  const ReplayResult rep = replay(back);
+  EXPECT_TRUE(rep.reproduced()) << rep.error;
+  EXPECT_EQ(rep.violation->kind, mutex::Violation::Kind::kStarvation);
+  EXPECT_EQ(rep.violation->describe(), res.violation->describe());
+}
+
+TEST(Mutants, PathReversalStarvesWhenTheTokenHolderCrashes) {
+  // Not a seeded mutant: the plain baseline has no crash recovery, so a
+  // crash choice that swallows the token is a genuine liveness gap the
+  // explorer must find.
+  VerifyConfig cfg = base_config("path-reversal");
+  cfg.fault_plan = "t=0 crash 0";
+  const VerifyResult res = explore(cfg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.violation->kind, mutex::Violation::Kind::kStarvation);
 }
 
 TEST(Mutants, SuzukiKasamiStarvesWhenTheTokenHolderCrashes) {
@@ -329,6 +397,28 @@ TEST(ReliableTransport, ExactlyOnceSurvivesAdversarialDropPlacement) {
   const Counterexample back = Counterexample::parse(cex.to_string());
   EXPECT_TRUE(back.config.reliable);
   EXPECT_EQ(back.to_string(), cex.to_string());
+}
+
+TEST(ReliableTransport, PathReversalSurvivesAdversarialDropPlacement) {
+  // The baseline has no retransmission of its own; behind the reliable
+  // transport an adversarially placed drop of either message type must be
+  // absorbed with no safety or liveness loss.
+  VerifyConfig cfg = base_config("path-reversal");
+  cfg.reliable = true;
+  cfg.time_slack = 0.0;
+
+  cfg.fault_plan = "t=0 lose-next PR-REQUEST";
+  const VerifyResult req = explore(cfg);
+  EXPECT_TRUE(req.ok()) << req.violation->describe();
+  EXPECT_TRUE(req.stats.complete);
+  EXPECT_EQ(req.stats.schedules, 100u);
+  EXPECT_EQ(req.stats.truncated, 0u);
+
+  cfg.fault_plan = "t=0 lose-next PR-TOKEN";  // attack the token itself
+  const VerifyResult tok = explore(cfg);
+  EXPECT_TRUE(tok.ok()) << tok.violation->describe();
+  EXPECT_TRUE(tok.stats.complete);
+  EXPECT_EQ(tok.stats.schedules, 30u);
 }
 
 // ------------------------------------------------- config validation
